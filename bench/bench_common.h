@@ -1,0 +1,116 @@
+// Shared experiment-bench plumbing.
+//
+// Each bench binary regenerates one table or figure of the paper. Figures
+// 8-13 are sweeps of (scenario x axis-value) points; this header provides
+// the shared sweep runner and table printing so each bench stays a
+// declarative description of its figure.
+//
+// Scale knobs (see DESIGN.md): MMHAR_REPEATS (default 2; paper uses 30),
+// MMHAR_EPOCHS, MMHAR_REPS_TRAIN, plus MMHAR_RATES / MMHAR_FRAMES to
+// override the sweep grids.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/env.h"
+#include "core/experiment.h"
+#include "mesh/activity.h"
+
+namespace mmhar::bench {
+
+struct Scenario {
+  std::string name;
+  core::AttackPoint point;
+};
+
+inline Scenario make_scenario(mesh::Activity victim, mesh::Activity target) {
+  Scenario s;
+  s.point.victim = static_cast<std::size_t>(victim);
+  s.point.target = static_cast<std::size_t>(target);
+  s.name = std::string(mesh::activity_name(victim)) + "->" +
+           mesh::activity_name(target);
+  return s;
+}
+
+/// Default sweep grids (paper sweeps injection rate at 8 frames and frame
+/// count at rate 0.4).
+inline std::vector<double> default_rates() {
+  return {0.1, 0.2, 0.3, 0.4};
+}
+inline std::vector<std::size_t> default_frame_counts() {
+  return {2, 4, 8, 12};
+}
+
+inline void print_run_config(const core::ExperimentSetup& setup) {
+  std::printf(
+      "# config: train %zu samples, repeats %zu, epochs %zu "
+      "(override via MMHAR_REPEATS / MMHAR_EPOCHS / MMHAR_REPS_TRAIN)\n",
+      setup.train_grid.total_samples(), setup.repeats,
+      setup.training.epochs);
+}
+
+inline void print_sweep_header(const char* axis_name) {
+  std::printf("%-28s %8s %8s %8s %8s %8s\n", "scenario", axis_name, "ASR%",
+              "UASR%", "CDR%", "+-ASR");
+}
+
+inline void print_sweep_row(const std::string& scenario, double axis_value,
+                            const core::PointSummary& s) {
+  std::printf("%-28s %8.2f %8.1f %8.1f %8.1f %8.1f\n", scenario.c_str(),
+              axis_value, 100.0 * s.mean.asr, 100.0 * s.mean.uasr,
+              100.0 * s.mean.cdr, 100.0 * s.stddev.asr);
+  std::fflush(stdout);
+}
+
+/// Sweep injection rate for each scenario (figures 8a-c, 10a-c, 12a-c).
+inline void run_injection_sweep(core::AttackExperiment& experiment,
+                                const std::vector<Scenario>& scenarios) {
+  print_run_config(experiment.setup());
+  print_sweep_header("rate");
+  for (const Scenario& scenario : scenarios) {
+    for (const double rate : default_rates()) {
+      core::AttackPoint point = scenario.point;
+      point.injection_rate = rate;
+      const auto summary = experiment.run_point(point);
+      print_sweep_row(scenario.name, rate, summary);
+    }
+  }
+}
+
+/// Sweep poisoned-frame count for each scenario (figures 9, 11, 13).
+inline void run_frames_sweep(core::AttackExperiment& experiment,
+                             const std::vector<Scenario>& scenarios) {
+  print_run_config(experiment.setup());
+  print_sweep_header("frames");
+  for (const Scenario& scenario : scenarios) {
+    for (const std::size_t frames : default_frame_counts()) {
+      core::AttackPoint point = scenario.point;
+      point.poisoned_frames = frames;
+      const auto summary = experiment.run_point(point);
+      print_sweep_row(scenario.name, static_cast<double>(frames), summary);
+    }
+  }
+}
+
+/// Render a heatmap as coarse ASCII art (figure-5 style visualization).
+inline void print_heatmap_ascii(const Tensor& heatmap, const char* title) {
+  static const char* shades = " .:-=+*#%@";
+  std::printf("%s (%zux%zu, rows=range near->far, cols=angle left->right)\n",
+              title, heatmap.dim(0), heatmap.dim(1));
+  const float lo = heatmap.min();
+  const float hi = heatmap.max();
+  const float range = hi - lo > 0.0F ? hi - lo : 1.0F;
+  for (std::size_t r = 0; r < heatmap.dim(0); ++r) {
+    std::putchar(' ');
+    for (std::size_t a = 0; a < heatmap.dim(1); ++a) {
+      const float v = (heatmap.at(r, a) - lo) / range;
+      const int idx = std::min(9, static_cast<int>(v * 10.0F));
+      std::putchar(shades[idx]);
+    }
+    std::putchar('\n');
+  }
+}
+
+}  // namespace mmhar::bench

@@ -1,0 +1,30 @@
+// Figure 12 (a-c): trigger-size comparison (2x2in vs 4x4in aluminum)
+// across injection rates, Push->Pull, 8 poisoned frames.
+//
+// Expected paper shape: the two sizes perform within training-noise of
+// each other on all three metrics.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mmhar;
+  std::printf("== Figure 12: trigger size comparison vs injection rate ==\n");
+  auto setup = core::ExperimentSetup::standard();
+  core::AttackExperiment experiment(setup);
+
+  bench::Scenario small =
+      bench::make_scenario(mesh::Activity::Push, mesh::Activity::Pull);
+  small.name += " 2x2";
+  small.point.trigger = mesh::TriggerSpec::aluminum_2x2();
+
+  bench::Scenario big = small;
+  big.name = bench::make_scenario(mesh::Activity::Push,
+                                  mesh::Activity::Pull).name + " 4x4";
+  big.point.trigger = mesh::TriggerSpec::aluminum_4x4();
+
+  bench::run_injection_sweep(experiment, {small, big});
+  std::printf("# paper shape: 2x2 and 4x4 curves nearly coincide — size "
+              "has minimal impact.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Microbenchmarks (google-benchmark) for the computational substrates.
+//
+// The paper's §VI-D reports ~0.87 s to simulate one TX-RX pair of a full
+// activity on a GPU; `IfSynthesisPerAntenna` reports the CPU-equivalent
+// figure for this implementation (per virtual antenna, per activity).
+#include <benchmark/benchmark.h>
+
+#include "dsp/heatmap.h"
+#include "har/generator.h"
+#include "har/model.h"
+#include "nn/loss.h"
+#include "tensor/gemm.h"
+#include "xai/shapley.h"
+
+namespace {
+
+using namespace mmhar;
+
+void BM_Fft(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(1);
+  std::vector<dsp::cfloat> data(n);
+  for (auto& v : data)
+    v = dsp::cfloat(static_cast<float>(rng.normal()),
+                    static_cast<float>(rng.normal()));
+  for (auto _ : state) {
+    dsp::fft_inplace(data);
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) * n);
+}
+BENCHMARK(BM_Fft)->Arg(64)->Arg(256)->Arg(1024);
+
+void BM_Gemm(benchmark::State& state) {
+  const std::size_t n = static_cast<std::size_t>(state.range(0));
+  Rng rng(2);
+  Tensor a = Tensor::randn({n, n}, rng);
+  Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  for (auto _ : state) {
+    sgemm(n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.counters["GFLOP/s"] = benchmark::Counter(
+      2.0 * n * n * n * state.iterations() / 1e9,
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+har::GeneratorConfig bench_generator_config() {
+  har::GeneratorConfig gc;
+  gc.environment = radar::EnvironmentKind::Hallway;
+  return gc;
+}
+
+void BM_ScattererExtraction(benchmark::State& state) {
+  const har::SampleGenerator gen(bench_generator_config());
+  const auto meshes = gen.build_world_meshes(har::SampleSpec{}, nullptr);
+  const radar::Simulator sim(gen.config().radar);
+  for (auto _ : state) {
+    auto s = sim.extract_scatterers(meshes[0], &meshes[1], 0.016);
+    benchmark::DoNotOptimize(s.data());
+  }
+}
+BENCHMARK(BM_ScattererExtraction);
+
+void BM_IfSynthesisPerFrame(benchmark::State& state) {
+  const har::SampleGenerator gen(bench_generator_config());
+  const auto meshes = gen.build_world_meshes(har::SampleSpec{}, nullptr);
+  const radar::Simulator sim(gen.config().radar);
+  const auto scatterers =
+      sim.extract_scatterers(meshes[0], &meshes[1], 0.016);
+  for (auto _ : state) {
+    auto cube = sim.synthesize(scatterers);
+    benchmark::DoNotOptimize(cube.raw().data());
+  }
+  state.counters["scatterers"] =
+      static_cast<double>(scatterers.size());
+}
+BENCHMARK(BM_IfSynthesisPerFrame);
+
+// Paper §VI-D analog: IF-signal synthesis for a full 32-frame activity,
+// normalized per virtual antenna (their GPU figure: ~0.87 s per TX-RX
+// pair).
+void BM_IfSynthesisPerAntenna(benchmark::State& state) {
+  const har::SampleGenerator gen(bench_generator_config());
+  for (auto _ : state) {
+    auto cubes = gen.generate_cubes(har::SampleSpec{});
+    benchmark::DoNotOptimize(cubes.data());
+  }
+  const double antennas =
+      static_cast<double>(gen.config().radar.num_virtual_antennas);
+  state.counters["s_per_antenna"] = benchmark::Counter(
+      antennas * state.iterations(),
+      benchmark::Counter::kIsRate | benchmark::Counter::kInvert);
+}
+BENCHMARK(BM_IfSynthesisPerAntenna)->Unit(benchmark::kMillisecond);
+
+void BM_DraiPipeline(benchmark::State& state) {
+  const har::SampleGenerator gen(bench_generator_config());
+  const auto cubes = gen.generate_cubes(har::SampleSpec{});
+  for (auto _ : state) {
+    auto hm = dsp::compute_drai(cubes[0], gen.config().heatmap);
+    benchmark::DoNotOptimize(hm.data());
+  }
+}
+BENCHMARK(BM_DraiPipeline);
+
+har::HarModelConfig bench_model_config() {
+  har::HarModelConfig mc;
+  mc.conv1_channels = 6;
+  mc.conv2_channels = 12;
+  mc.feature_dim = 48;
+  mc.lstm_hidden = 48;
+  return mc;
+}
+
+void BM_ModelForward(benchmark::State& state) {
+  har::HarModel model(bench_model_config());
+  Rng rng(3);
+  const Tensor batch = Tensor::rand_uniform({8, 32, 32, 32}, rng, 0.0F, 1.0F);
+  for (auto _ : state) {
+    auto logits = model.forward(batch, false);
+    benchmark::DoNotOptimize(logits.data());
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      8.0 * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModelForward)->Unit(benchmark::kMillisecond);
+
+void BM_ModelTrainStep(benchmark::State& state) {
+  har::HarModel model(bench_model_config());
+  Rng rng(4);
+  const Tensor batch = Tensor::rand_uniform({8, 32, 32, 32}, rng, 0.0F, 1.0F);
+  const std::vector<std::size_t> labels{0, 1, 2, 3, 4, 5, 0, 1};
+  for (auto _ : state) {
+    model.zero_gradients();
+    const Tensor logits = model.forward(batch, true);
+    const auto loss = nn::softmax_cross_entropy(logits, labels);
+    model.backward(loss.grad_logits);
+    benchmark::DoNotOptimize(loss.loss);
+  }
+  state.counters["samples/s"] = benchmark::Counter(
+      8.0 * state.iterations(), benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_ModelTrainStep)->Unit(benchmark::kMillisecond);
+
+void BM_SamplingShapley(benchmark::State& state) {
+  const std::size_t players = 32;
+  const xai::ValueFunction v = [](const std::vector<bool>& mask) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < mask.size(); ++i)
+      if (mask[i]) acc += static_cast<double>(i % 5);
+    return acc;
+  };
+  Rng rng(5);
+  for (auto _ : state) {
+    auto phi = xai::sampling_shapley(players, v, 4, rng);
+    benchmark::DoNotOptimize(phi.data());
+  }
+}
+BENCHMARK(BM_SamplingShapley);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,56 @@
+// Table I: impact of each attack module, plus under-clothing triggers.
+//
+// Rows (Push->Pull, rate 0.4, 8 frames):
+//   1. full method: SHAP-optimal frames + Eq.2/4-optimal position
+//   2. without the optimal position (trigger on the leg)
+//   3. without the optimal frames (first 8 frames poisoned)
+//   4. without either
+//   5. full method with the trigger hidden under clothing
+//
+// Paper: 84% / 66% / 57% / 48% / 82% — ordering full > no-position >
+// no-frames > neither, and under-clothing within noise of full.
+#include <cstdio>
+
+#include "bench_common.h"
+
+int main() {
+  using namespace mmhar;
+  std::printf("== Table I: module ablation and under-clothing trigger ==\n");
+  auto setup = core::ExperimentSetup::standard();
+  core::AttackExperiment experiment(setup);
+  bench::print_run_config(setup);
+
+  struct Row {
+    const char* name;
+    bool optimal_position;
+    core::FrameSelection selection;
+    bool under_clothing;
+  };
+  const Row rows[] = {
+      {"With Optimal Frames and Positions", true,
+       core::FrameSelection::ShapTopK, false},
+      {"Without Optimal Trigger Position", false,
+       core::FrameSelection::ShapTopK, false},
+      {"Without Optimal Frames", true, core::FrameSelection::FirstK, false},
+      {"Without Optimal Frames and Positions", false,
+       core::FrameSelection::FirstK, false},
+      {"With Under Clothing Stealthy Trigger", true,
+       core::FrameSelection::ShapTopK, true},
+  };
+
+  std::printf("%-40s %8s %8s %8s\n", "experiment", "ASR%", "UASR%", "CDR%");
+  for (const Row& row : rows) {
+    core::AttackPoint point;  // Push->Pull, rate 0.4, 8 frames
+    point.optimize_position = row.optimal_position;
+    point.frame_selection = row.selection;
+    point.trigger.under_clothing = row.under_clothing;
+    const auto summary = experiment.run_point(point);
+    std::printf("%-40s %8.1f %8.1f %8.1f\n", row.name,
+                100.0 * summary.mean.asr, 100.0 * summary.mean.uasr,
+                100.0 * summary.mean.cdr);
+    std::fflush(stdout);
+  }
+  std::printf("# paper: 84 / 66 / 57 / 48 / 82 %%ASR — full method on top,\n"
+              "# frame selection matters most, clothing is RF-transparent.\n");
+  return 0;
+}

@@ -1,0 +1,93 @@
+// Quickstart: the whole pipeline in one minute.
+//
+//   1. Build a procedural human performing "Push" and simulate the FMCW
+//      radar's IF signals (Eq. 3).
+//   2. Process them into DRAI heatmaps (Range-FFT, clutter removal,
+//      Angle-FFT).
+//   3. Train a small CNN-LSTM on a miniature dataset and classify a
+//      held-out sample.
+//
+// Build & run:  cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "har/dataset.h"
+#include "har/trainer.h"
+
+using namespace mmhar;
+
+int main() {
+  std::printf("mmhar-backdoor quickstart\n");
+  std::printf("=========================\n\n");
+
+  // --- 1. Configure a miniature radar world (fast on any laptop). ---
+  har::GeneratorConfig gc;
+  gc.num_frames = 16;
+  gc.radar.num_chirps = 8;
+  gc.radar.num_virtual_antennas = 8;
+  gc.environment = radar::EnvironmentKind::Hallway;
+  const har::SampleGenerator generator(gc);
+
+  std::printf("radar: %.0f GHz FMCW, %zu virtual antennas, "
+              "range resolution %.1f cm\n",
+              gc.radar.center_freq_hz() / 1e9,
+              gc.radar.num_virtual_antennas,
+              100.0 * gc.radar.range_resolution_m());
+
+  // --- 2. Simulate one Push sample and inspect its heatmaps. ---
+  har::SampleSpec spec;
+  spec.activity = mesh::Activity::Push;
+  spec.distance_m = 1.6;
+  const Tensor heatmaps = generator.generate(spec);
+  std::printf("simulated one %s activity -> DRAI sequence %s\n",
+              mesh::activity_name(spec.activity),
+              heatmaps.shape_string().c_str());
+
+  // --- 3. Tiny dataset: 2 participants x 3 angles x 4 repetitions. ---
+  har::DatasetConfig grid;
+  grid.participants = {0, 1};
+  grid.distances_m = {1.6};
+  grid.angles_deg = {-30.0, 0.0, 30.0};
+  grid.repetitions = 3;
+  std::printf("\nsimulating %zu training samples...\n",
+              grid.total_samples());
+  const har::Dataset train = har::build_dataset(generator, grid);
+
+  har::DatasetConfig test_grid = grid;
+  test_grid.repetitions = 1;
+  test_grid.repetition_offset = 40;
+  const har::Dataset test = har::build_dataset(generator, test_grid);
+
+  // --- 4. Train the CNN-LSTM prototype. ---
+  har::HarModelConfig mc;
+  mc.frames = gc.num_frames;
+  mc.conv1_channels = 6;
+  mc.conv2_channels = 12;
+  mc.feature_dim = 32;
+  mc.lstm_hidden = 32;
+  har::HarModel model(mc);
+  std::printf("training CNN-LSTM (%zu parameters)...\n",
+              model.parameter_count());
+  har::TrainConfig tc;
+  tc.epochs = 12;
+  tc.batch_size = 8;
+  har::train_model(model, train, tc);
+
+  // --- 5. Evaluate. ---
+  const auto cm = har::evaluate_confusion(model, test);
+  std::vector<std::string> names;
+  for (std::size_t a = 0; a < mesh::kNumActivities; ++a)
+    names.push_back(mesh::activity_name(mesh::activity_from_index(a)));
+  std::printf("\nheld-out confusion matrix:\n%s\n",
+              cm.to_string(names).c_str());
+
+  const auto& sample = test.sample(0);
+  const Tensor probs = model.predict_probabilities(sample.heatmaps);
+  std::printf("\nsample 0 (true: %s) class probabilities:\n",
+              names[sample.label].c_str());
+  for (std::size_t c = 0; c < probs.size(); ++c)
+    std::printf("  %-14s %5.1f%%\n", names[c].c_str(), 100.0F * probs[c]);
+
+  std::printf("\nNext: ./build/examples/backdoor_attack_demo shows how a "
+              "metal reflector subverts this model.\n");
+  return 0;
+}

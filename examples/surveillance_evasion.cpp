@@ -1,0 +1,90 @@
+// Scenario from the paper's introduction: evading a wireless surveillance
+// system. A mmWave HAR system guards a room and raises an alarm on a
+// specific "suspicious" gesture (we use Push as the stand-in). The
+// attacker poisons the training data so that wearing a hidden reflector
+// remaps the suspicious gesture to a benign one — the alarm stays silent
+// for the attacker but keeps firing for everyone else.
+//
+// Also demonstrates the trigger-detection defense of §VII catching the
+// attacker.
+#include <cstdio>
+
+#include "core/experiment.h"
+#include "defense/trigger_detector.h"
+#include "har/trainer.h"
+
+using namespace mmhar;
+
+int main() {
+  std::printf("Surveillance evasion scenario\n");
+  std::printf("=============================\n\n");
+
+  auto setup = core::ExperimentSetup::standard();
+  setup.repeats = 1;
+  core::AttackExperiment experiment(setup);
+
+  core::AttackPoint point;
+  point.victim = static_cast<std::size_t>(mesh::Activity::Push);
+  point.target = static_cast<std::size_t>(mesh::Activity::Pull);
+  point.trigger.under_clothing = true;  // hidden under a jacket
+
+  const std::size_t alarm_class = point.victim;
+  std::printf("the surveillance system alarms on: %s\n",
+              mesh::activity_name(mesh::activity_from_index(alarm_class)));
+  std::printf("the attacker hides a 2x2-inch reflector under clothing and "
+              "poisons %.0f%% of contributed %s samples\n\n",
+              100.0 * point.injection_rate,
+              mesh::activity_name(mesh::activity_from_index(alarm_class)));
+
+  auto [model, metrics] = experiment.run_single(point, 0);
+
+  // Innocent users: alarm fidelity on clean data.
+  const auto cm = har::evaluate_confusion(model, experiment.test_set());
+  const double alarm_recall = cm.per_class_recall()[alarm_class];
+  std::printf("[innocent users] alarm fires on %s%% of real %s gestures\n",
+              core::pct(alarm_recall).c_str(),
+              mesh::activity_name(mesh::activity_from_index(alarm_class)));
+
+  // The attacker performing the suspicious gesture with the trigger.
+  const har::Dataset attack_test = experiment.attack_test_set(point);
+  std::size_t alarms = 0;
+  for (std::size_t i = 0; i < attack_test.size(); ++i)
+    if (model.predict(attack_test.sample(i).heatmaps) == alarm_class)
+      ++alarms;
+  std::printf("[attacker]       alarm fires on %zu of %zu triggered "
+              "gestures (evasion rate %s%%)\n\n",
+              alarms, attack_test.size(),
+              core::pct(1.0 - static_cast<double>(alarms) /
+                                  attack_test.size()).c_str());
+
+  // ---- The operator deploys the §VII trigger detector. ----
+  std::printf("[defense] operator trains a trigger detector on simulated "
+              "reflector signatures\n");
+  har::SampleGenerator train_gen(setup.train_generator);
+  const core::BackdoorPlan& plan = experiment.plan_for(point);
+  const har::Dataset train_twins = core::load_or_build_triggered_twins(
+      train_gen, setup.train_grid, point.victim, plan.placement,
+      setup.cache_dir);
+
+  defense::DetectorConfig dc;
+  dc.height = setup.model.height;
+  dc.width = setup.model.width;
+  defense::TriggerDetector detector(dc);
+  detector.train(experiment.train_set(), train_twins);
+
+  std::size_t caught = 0;
+  for (std::size_t i = 0; i < attack_test.size(); ++i)
+    if (detector.is_triggered(attack_test.sample(i).heatmaps)) ++caught;
+  std::size_t false_alarms = 0;
+  const auto& clean = experiment.test_set();
+  for (std::size_t i = 0; i < clean.size(); ++i)
+    if (detector.is_triggered(clean.sample(i).heatmaps)) ++false_alarms;
+
+  std::printf("  detector flags %zu of %zu attacker samples "
+              "and %zu of %zu clean samples\n",
+              caught, attack_test.size(), false_alarms, clean.size());
+  std::printf("\nconclusion: the physical backdoor silences the alarm for "
+              "the attacker while innocent users stay covered — and a "
+              "heatmap-level trigger detector is a viable countermeasure.\n");
+  return 0;
+}

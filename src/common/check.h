@@ -1,0 +1,74 @@
+// Error-handling primitives for the mmhar library.
+//
+// Invariant violations and precondition failures throw `mmhar::Error`
+// (derived from std::runtime_error) so that callers can recover with RAII
+// intact. The macros capture file/line context automatically.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace mmhar {
+
+/// Base exception type for all library errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Thrown when a function argument violates a documented precondition.
+class InvalidArgument : public Error {
+ public:
+  explicit InvalidArgument(const std::string& what) : Error(what) {}
+};
+
+/// Thrown on I/O or (de)serialization failure.
+class IoError : public Error {
+ public:
+  explicit IoError(const std::string& what) : Error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void check_failed(const char* kind, const char* expr,
+                                      const char* file, int line,
+                                      const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace mmhar
+
+/// Check an invariant; throws mmhar::Error with context when violated.
+#define MMHAR_CHECK(expr)                                                 \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::mmhar::detail::check_failed("MMHAR_CHECK", #expr, __FILE__,       \
+                                    __LINE__, "");                        \
+  } while (0)
+
+/// Check an invariant with an extra streamed message.
+#define MMHAR_CHECK_MSG(expr, msg)                                        \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream mmhar_os_;                                       \
+      mmhar_os_ << msg;                                                   \
+      ::mmhar::detail::check_failed("MMHAR_CHECK", #expr, __FILE__,       \
+                                    __LINE__, mmhar_os_.str());           \
+    }                                                                     \
+  } while (0)
+
+/// Check a documented precondition on an argument.
+#define MMHAR_REQUIRE(expr, msg)                                          \
+  do {                                                                    \
+    if (!(expr)) {                                                        \
+      std::ostringstream mmhar_os_;                                       \
+      mmhar_os_ << "precondition (" << #expr << ") violated at "          \
+                << __FILE__ << ":" << __LINE__ << " — " << msg;           \
+      throw ::mmhar::InvalidArgument(mmhar_os_.str());                    \
+    }                                                                     \
+  } while (0)

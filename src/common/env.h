@@ -1,0 +1,21 @@
+// Environment-variable knobs for experiment scaling.
+//
+// Experiments default to laptop-scale parameters; larger, closer-to-paper
+// runs are enabled by exporting e.g. MMHAR_SAMPLES_PER_CLASS / MMHAR_EPOCHS /
+// MMHAR_REPEATS before running the bench binaries.
+#pragma once
+
+#include <string>
+
+namespace mmhar {
+
+/// Integer env var with fallback (also used for MMHAR_THREADS=0 -> auto).
+long env_int(const char* name, long fallback);
+
+/// Floating env var with fallback.
+double env_double(const char* name, double fallback);
+
+/// String env var with fallback.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace mmhar

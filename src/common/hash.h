@@ -1,0 +1,67 @@
+// FNV-1a based configuration hashing.
+//
+// Experiment configurations hash to a stable 64-bit key used to name
+// on-disk dataset cache entries; any parameter change yields a new key.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <type_traits>
+#include <string>
+
+namespace mmhar {
+
+/// Incremental FNV-1a hasher over heterogeneous fields.
+class Hasher {
+ public:
+  Hasher& mix_bytes(const void* data, std::size_t n) {
+    const auto* p = static_cast<const unsigned char*>(data);
+    for (std::size_t i = 0; i < n; ++i) {
+      h_ ^= p[i];
+      h_ *= 0x100000001B3ULL;
+    }
+    return *this;
+  }
+
+  /// Integers are widened to 64 bits before mixing.
+  template <typename T>
+    requires std::is_integral_v<T>
+  Hasher& mix(T v) {
+    const auto wide = static_cast<std::uint64_t>(
+        static_cast<std::int64_t>(v));
+    return mix_bytes(&wide, sizeof wide);
+  }
+
+  Hasher& mix(double v) {
+    std::uint64_t bits;
+    static_assert(sizeof bits == sizeof v);
+    std::memcpy(&bits, &v, sizeof bits);
+    return mix(bits);
+  }
+
+  Hasher& mix(float v) { return mix(static_cast<double>(v)); }
+
+  Hasher& mix(const std::string& s) {
+    mix(static_cast<std::uint64_t>(s.size()));
+    return mix_bytes(s.data(), s.size());
+  }
+
+  std::uint64_t value() const { return h_; }
+
+  /// 16-hex-digit string form, convenient for file names.
+  std::string hex() const {
+    static const char* digits = "0123456789abcdef";
+    std::string s(16, '0');
+    std::uint64_t v = h_;
+    for (int i = 15; i >= 0; --i) {
+      s[static_cast<std::size_t>(i)] = digits[v & 0xF];
+      v >>= 4;
+    }
+    return s;
+  }
+
+ private:
+  std::uint64_t h_ = 0xCBF29CE484222325ULL;
+};
+
+}  // namespace mmhar

@@ -1,0 +1,66 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+#include "common/env.h"
+
+namespace mmhar {
+namespace {
+
+std::atomic<int>& threshold_storage() {
+  static std::atomic<int> level{
+      static_cast<int>(env_int("MMHAR_LOG_LEVEL", 1))};
+  return level;
+}
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+  }
+  return "?";
+}
+
+std::mutex& log_mutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+}  // namespace
+
+LogLevel log_threshold() {
+  return static_cast<LogLevel>(threshold_storage().load());
+}
+
+void set_log_threshold(LogLevel level) {
+  threshold_storage().store(static_cast<int>(level));
+}
+
+namespace detail {
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line)
+    : enabled_(static_cast<int>(level) >=
+               static_cast<int>(log_threshold())),
+      level_(level) {
+  if (enabled_) {
+    // Keep only the basename for readability.
+    const char* base = file;
+    for (const char* p = file; *p != '\0'; ++p)
+      if (*p == '/') base = p + 1;
+    os_ << "[" << level_name(level_) << " " << base << ":" << line << "] ";
+  }
+}
+
+LogMessage::~LogMessage() {
+  if (enabled_) {
+    std::lock_guard<std::mutex> lk(log_mutex());
+    std::fprintf(stderr, "%s\n", os_.str().c_str());
+  }
+}
+
+}  // namespace detail
+}  // namespace mmhar

@@ -1,0 +1,44 @@
+// Leveled stderr logging with a global threshold (MMHAR_LOG_LEVEL).
+//
+// Levels: 0=debug, 1=info (default), 2=warn, 3=error, 4=silent.
+// Usage: MMHAR_LOG(Info) << "trained " << n << " epochs";
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mmhar {
+
+enum class LogLevel : int { Debug = 0, Info = 1, Warn = 2, Error = 3 };
+
+/// Current threshold; messages below it are discarded.
+LogLevel log_threshold();
+
+/// Override the threshold at runtime (tests use this to silence output).
+void set_log_threshold(LogLevel level);
+
+namespace detail {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  template <typename T>
+  LogMessage& operator<<(const T& v) {
+    if (enabled_) os_ << v;
+    return *this;
+  }
+
+ private:
+  bool enabled_;
+  LogLevel level_;
+  std::ostringstream os_;
+};
+
+}  // namespace detail
+}  // namespace mmhar
+
+#define MMHAR_LOG(severity)                                           \
+  ::mmhar::detail::LogMessage(::mmhar::LogLevel::severity, __FILE__,  \
+                              __LINE__)

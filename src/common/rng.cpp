@@ -1,0 +1,111 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+
+}  // namespace
+
+Rng::Rng(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& s : s_) s = splitmix64(sm);
+}
+
+Rng Rng::fork(std::uint64_t tag) {
+  // Mix the parent's next output with the tag to seed the child.
+  const std::uint64_t base = next_u64();
+  std::uint64_t sm = base ^ (tag * 0xD1342543DE82EF95ULL + 0x2545F4914F6CDD1DULL);
+  Rng child(0);
+  for (auto& s : child.s_) s = splitmix64(sm);
+  return child;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random mantissa bits -> uniform double in [0, 1).
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  MMHAR_REQUIRE(lo <= hi, "uniform bounds out of order");
+  return lo + (hi - lo) * uniform();
+}
+
+double Rng::normal() {
+  if (has_spare_) {
+    has_spare_ = false;
+    return spare_;
+  }
+  double u1 = 0.0;
+  while (u1 <= 1e-300) u1 = uniform();
+  const double u2 = uniform();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * 3.14159265358979323846 * u2;
+  spare_ = r * std::sin(theta);
+  has_spare_ = true;
+  return r * std::cos(theta);
+}
+
+double Rng::normal(double mean, double stddev) {
+  return mean + stddev * normal();
+}
+
+std::size_t Rng::index(std::size_t n) {
+  MMHAR_REQUIRE(n > 0, "index() over empty range");
+  // Rejection sampling to avoid modulo bias.
+  const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+  std::uint64_t x = next_u64();
+  while (x >= limit) x = next_u64();
+  return static_cast<std::size_t>(x % n);
+}
+
+bool Rng::bernoulli(double p) { return uniform() < p; }
+
+std::vector<std::size_t> Rng::sample_without_replacement(std::size_t n,
+                                                         std::size_t k) {
+  MMHAR_REQUIRE(k <= n, "cannot sample " << k << " from " << n);
+  std::vector<std::size_t> all(n);
+  for (std::size_t i = 0; i < n; ++i) all[i] = i;
+  // Partial Fisher–Yates: first k entries become the sample.
+  for (std::size_t i = 0; i < k; ++i) {
+    const std::size_t j = i + index(n - i);
+    std::swap(all[i], all[j]);
+  }
+  all.resize(k);
+  return all;
+}
+
+void Rng::shuffle(std::vector<std::size_t>& v) {
+  for (std::size_t i = v.size(); i > 1; --i) {
+    const std::size_t j = index(i);
+    std::swap(v[i - 1], v[j]);
+  }
+}
+
+}  // namespace mmhar

@@ -1,0 +1,30 @@
+#include "common/serialize.h"
+
+#include <filesystem>
+
+namespace mmhar {
+
+std::ofstream open_for_write(const std::string& path) {
+  std::ofstream os(path, std::ios::binary | std::ios::trunc);
+  if (!os) throw IoError("cannot open for write: " + path);
+  return os;
+}
+
+std::ifstream open_for_read(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw IoError("cannot open for read: " + path);
+  return is;
+}
+
+bool file_exists(const std::string& path) {
+  std::error_code ec;
+  return std::filesystem::is_regular_file(path, ec);
+}
+
+void ensure_directory(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::create_directories(path, ec);
+  if (ec) throw IoError("cannot create directory " + path + ": " + ec.message());
+}
+
+}  // namespace mmhar

@@ -1,0 +1,115 @@
+// Minimal binary (de)serialization for dataset caching and model save/load.
+//
+// The format is a flat little-endian stream with explicit length prefixes.
+// Writers/readers are symmetric: every `write_x` has a matching `read_x`,
+// and `Reader` throws IoError on truncation or magic mismatch rather than
+// returning partial data.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace mmhar {
+
+/// Streaming binary writer over an ostream (typically a file).
+class BinaryWriter {
+ public:
+  explicit BinaryWriter(std::ostream& os) : os_(os) {}
+
+  void write_u32(std::uint32_t v) { write_raw(&v, sizeof v); }
+  void write_u64(std::uint64_t v) { write_raw(&v, sizeof v); }
+  void write_i64(std::int64_t v) { write_raw(&v, sizeof v); }
+  void write_f32(float v) { write_raw(&v, sizeof v); }
+  void write_f64(double v) { write_raw(&v, sizeof v); }
+
+  void write_string(const std::string& s) {
+    write_u64(s.size());
+    write_raw(s.data(), s.size());
+  }
+
+  void write_f32_vec(const std::vector<float>& v) {
+    write_u64(v.size());
+    write_raw(v.data(), v.size() * sizeof(float));
+  }
+
+  void write_u64_vec(const std::vector<std::uint64_t>& v) {
+    write_u64(v.size());
+    write_raw(v.data(), v.size() * sizeof(std::uint64_t));
+  }
+
+ private:
+  void write_raw(const void* data, std::size_t n) {
+    os_.write(static_cast<const char*>(data),
+              static_cast<std::streamsize>(n));
+    if (!os_) throw IoError("BinaryWriter: stream write failed");
+  }
+
+  std::ostream& os_;
+};
+
+/// Streaming binary reader; throws IoError on truncated input.
+class BinaryReader {
+ public:
+  explicit BinaryReader(std::istream& is) : is_(is) {}
+
+  std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
+  std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
+  std::int64_t read_i64() { return read_pod<std::int64_t>(); }
+  float read_f32() { return read_pod<float>(); }
+  double read_f64() { return read_pod<double>(); }
+
+  std::string read_string() {
+    const auto n = read_u64();
+    std::string s(n, '\0');
+    read_raw(s.data(), n);
+    return s;
+  }
+
+  std::vector<float> read_f32_vec() {
+    const auto n = read_u64();
+    std::vector<float> v(n);
+    read_raw(v.data(), n * sizeof(float));
+    return v;
+  }
+
+  std::vector<std::uint64_t> read_u64_vec() {
+    const auto n = read_u64();
+    std::vector<std::uint64_t> v(n);
+    read_raw(v.data(), n * sizeof(std::uint64_t));
+    return v;
+  }
+
+ private:
+  template <typename T>
+  T read_pod() {
+    T v{};
+    read_raw(&v, sizeof v);
+    return v;
+  }
+
+  void read_raw(void* data, std::size_t n) {
+    is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
+    if (static_cast<std::size_t>(is_.gcount()) != n)
+      throw IoError("BinaryReader: truncated stream");
+  }
+
+  std::istream& is_;
+};
+
+/// Open `path` for binary writing; throws IoError on failure.
+std::ofstream open_for_write(const std::string& path);
+
+/// Open `path` for binary reading; throws IoError on failure.
+std::ifstream open_for_read(const std::string& path);
+
+/// True if a regular file exists at `path`.
+bool file_exists(const std::string& path);
+
+/// Create directory (and parents) if missing; throws IoError on failure.
+void ensure_directory(const std::string& path);
+
+}  // namespace mmhar

@@ -1,0 +1,124 @@
+#include "common/thread_pool.h"
+
+#include <atomic>
+
+#include "common/check.h"
+#include "common/env.h"
+
+namespace mmhar {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads == 0) {
+    num_threads = std::thread::hardware_concurrency();
+    if (num_threads == 0) num_threads = 2;
+  }
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::enqueue(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    tasks_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_for(std::size_t begin, std::size_t end,
+                              const std::function<void(std::size_t)>& fn) {
+  parallel_for_chunked(begin, end,
+                       [&fn](std::size_t lo, std::size_t hi) {
+                         for (std::size_t i = lo; i < hi; ++i) fn(i);
+                       });
+}
+
+void ThreadPool::parallel_for_chunked(
+    std::size_t begin, std::size_t end,
+    const std::function<void(std::size_t, std::size_t)>& fn) {
+  if (begin >= end) return;
+  const std::size_t n = end - begin;
+  const std::size_t parts = std::min(n, size() + 1);
+  if (parts <= 1) {
+    fn(begin, end);
+    return;
+  }
+
+  struct State {
+    std::atomic<std::size_t> remaining;
+    std::mutex mu;
+    std::condition_variable done_cv;
+    std::exception_ptr error;
+  } state;
+  state.remaining.store(parts - 1);
+
+  const std::size_t chunk = (n + parts - 1) / parts;
+  // Chunks 1..parts-1 go to the pool; chunk 0 runs on the caller thread.
+  for (std::size_t p = 1; p < parts; ++p) {
+    const std::size_t lo = begin + p * chunk;
+    const std::size_t hi = std::min(end, lo + chunk);
+    enqueue([&state, &fn, lo, hi] {
+      try {
+        if (lo < hi) fn(lo, hi);
+      } catch (...) {
+        std::lock_guard<std::mutex> lk(state.mu);
+        if (!state.error) state.error = std::current_exception();
+      }
+      if (state.remaining.fetch_sub(1) == 1) {
+        std::lock_guard<std::mutex> lk(state.mu);
+        state.done_cv.notify_one();
+      }
+    });
+  }
+
+  std::exception_ptr caller_error;
+  try {
+    fn(begin, std::min(end, begin + chunk));
+  } catch (...) {
+    caller_error = std::current_exception();
+  }
+
+  {
+    std::unique_lock<std::mutex> lk(state.mu);
+    state.done_cv.wait(lk, [&state] { return state.remaining.load() == 0; });
+  }
+  if (caller_error) std::rethrow_exception(caller_error);
+  if (state.error) std::rethrow_exception(state.error);
+}
+
+ThreadPool& global_pool() {
+  static ThreadPool pool(
+      static_cast<std::size_t>(env_int("MMHAR_THREADS", 0)));
+  return pool;
+}
+
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn) {
+  global_pool().parallel_for(begin, end, fn);
+}
+
+}  // namespace mmhar

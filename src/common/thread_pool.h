@@ -1,0 +1,62 @@
+// A small fixed-size thread pool with a blocking parallel_for.
+//
+// Used by the radar simulator (per-frame synthesis), the GEMM kernel, and
+// the experiment harnesses. The pool is created once (see `global_pool()`)
+// and reused; parallel_for partitions [begin, end) into contiguous chunks
+// and blocks until all chunks complete, rethrowing the first worker
+// exception on the caller thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace mmhar {
+
+class ThreadPool {
+ public:
+  /// Create a pool with `num_threads` workers (0 -> hardware_concurrency).
+  explicit ThreadPool(std::size_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t size() const { return workers_.size(); }
+
+  /// Run fn(i) for every i in [begin, end), partitioned into contiguous
+  /// chunks across the pool plus the calling thread. Blocks until done.
+  /// The first exception thrown by any invocation is rethrown here.
+  void parallel_for(std::size_t begin, std::size_t end,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// As parallel_for, but hands each worker a whole [chunk_begin, chunk_end)
+  /// range; useful when per-index dispatch overhead matters.
+  void parallel_for_chunked(
+      std::size_t begin, std::size_t end,
+      const std::function<void(std::size_t, std::size_t)>& fn);
+
+ private:
+  void worker_loop();
+  void enqueue(std::function<void()> task);
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> tasks_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+/// Process-wide shared pool (lazily constructed, respects MMHAR_THREADS).
+ThreadPool& global_pool();
+
+/// Convenience wrapper over global_pool().parallel_for.
+void parallel_for(std::size_t begin, std::size_t end,
+                  const std::function<void(std::size_t)>& fn);
+
+}  // namespace mmhar

@@ -1,0 +1,39 @@
+#include "core/attack_eval.h"
+
+#include "common/check.h"
+#include "har/trainer.h"
+
+namespace mmhar::core {
+
+AttackMetrics evaluate_attack(har::HarModel& model,
+                              const har::Dataset& clean_test,
+                              const har::Dataset& attack_test,
+                              std::size_t victim_label,
+                              std::size_t target_label) {
+  MMHAR_REQUIRE(victim_label != target_label, "victim == target");
+
+  AttackMetrics m;
+  m.attack_samples = attack_test.size();
+  m.clean_samples = clean_test.size();
+
+  if (!attack_test.empty()) {
+    const auto preds = har::predict_all(model, attack_test);
+    std::size_t hit_target = 0;
+    std::size_t misclassified = 0;
+    for (std::size_t i = 0; i < preds.size(); ++i) {
+      MMHAR_CHECK(attack_test.sample(i).label == victim_label);
+      if (preds[i] == target_label) ++hit_target;
+      if (preds[i] != victim_label) ++misclassified;
+    }
+    m.asr = static_cast<double>(hit_target) /
+            static_cast<double>(preds.size());
+    m.uasr = static_cast<double>(misclassified) /
+             static_cast<double>(preds.size());
+  }
+
+  if (!clean_test.empty())
+    m.cdr = har::evaluate_accuracy(model, clean_test);
+  return m;
+}
+
+}  // namespace mmhar::core

@@ -1,0 +1,29 @@
+// Attack metrics (paper §VI-E): ASR, UASR, CDR.
+#pragma once
+
+#include <cstddef>
+
+#include "har/dataset.h"
+#include "har/model.h"
+
+namespace mmhar::core {
+
+struct AttackMetrics {
+  double asr = 0.0;   ///< targeted success: predicted == target
+  double uasr = 0.0;  ///< untargeted success: predicted != victim
+  double cdr = 0.0;   ///< clean data rate: accuracy on clean test samples
+  std::size_t attack_samples = 0;
+  std::size_t clean_samples = 0;
+};
+
+/// Evaluate a (potentially backdoored) model.
+///  * `attack_test` holds trigger-bearing victim-activity samples (their
+///    stored label is the victim activity).
+///  * `clean_test` is the ordinary held-out test set.
+AttackMetrics evaluate_attack(har::HarModel& model,
+                              const har::Dataset& clean_test,
+                              const har::Dataset& attack_test,
+                              std::size_t victim_label,
+                              std::size_t target_label);
+
+}  // namespace mmhar::core

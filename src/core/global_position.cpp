@@ -1,0 +1,65 @@
+#include "core/global_position.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar::core {
+
+double weighted_distance_sum(const std::vector<mesh::Vec3>& points,
+                             const std::vector<double>& weights,
+                             const mesh::Vec3& x) {
+  double acc = 0.0;
+  for (std::size_t i = 0; i < points.size(); ++i)
+    acc += weights[i] * mesh::distance(points[i], x);
+  return acc;
+}
+
+mesh::Vec3 weighted_geometric_median(const std::vector<mesh::Vec3>& points,
+                                     const std::vector<double>& weights,
+                                     WeiszfeldOptions options) {
+  MMHAR_REQUIRE(!points.empty(), "no points");
+  MMHAR_REQUIRE(points.size() == weights.size(), "points/weights mismatch");
+  double total_weight = 0.0;
+  for (const double w : weights) {
+    MMHAR_REQUIRE(w >= 0.0, "weights must be nonnegative");
+    total_weight += w;
+  }
+  MMHAR_REQUIRE(total_weight > 0.0, "all weights are zero");
+
+  // Start from the weighted centroid.
+  mesh::Vec3 x{0.0, 0.0, 0.0};
+  for (std::size_t i = 0; i < points.size(); ++i)
+    x += points[i] * (weights[i] / total_weight);
+
+  for (int iter = 0; iter < options.max_iterations; ++iter) {
+    mesh::Vec3 numerator{0.0, 0.0, 0.0};
+    double denominator = 0.0;
+    bool at_data_point = false;
+    for (std::size_t i = 0; i < points.size(); ++i) {
+      if (weights[i] == 0.0) continue;
+      const double d = mesh::distance(points[i], x);
+      if (d < 1e-12) {
+        // Iterate sits on a data point: nudge off it (Vardi–Zhang rule
+        // simplified — adequate at our scales).
+        at_data_point = true;
+        continue;
+      }
+      const double w = weights[i] / d;
+      numerator += points[i] * w;
+      denominator += w;
+    }
+    if (denominator == 0.0) return x;  // all mass on the current point
+    mesh::Vec3 next = numerator / denominator;
+    if (at_data_point) {
+      // Blend toward the data point the iterate collided with.
+      next = (next + x) * 0.5;
+    }
+    const mesh::Vec3 step = next - x;
+    x = next;
+    if (mesh::dot(step, step) < options.tolerance) break;
+  }
+  return x;
+}
+
+}  // namespace mmhar::core

@@ -1,0 +1,33 @@
+// Global optimal trigger position (paper Eq. 4).
+//
+// The per-frame optima op_i differ because the hand moves; a physical
+// trigger cannot chase them, so the attack uses one global position
+// minimizing the SHAP-weighted sum of distances
+//     min_gop  Σ_i φ_i · || op_i − gop ||_2 ,
+// i.e. the weighted geometric median, solved with Weiszfeld iteration.
+#pragma once
+
+#include <vector>
+
+#include "mesh/geometry.h"
+
+namespace mmhar::core {
+
+struct WeiszfeldOptions {
+  int max_iterations = 200;
+  double tolerance = 1e-10;  ///< squared step length convergence threshold
+};
+
+/// Weighted geometric median of `points` with nonnegative `weights`
+/// (at least one strictly positive). Exact for a single point; handles
+/// iterates landing on data points with the standard perturbation rule.
+mesh::Vec3 weighted_geometric_median(const std::vector<mesh::Vec3>& points,
+                                     const std::vector<double>& weights,
+                                     WeiszfeldOptions options = {});
+
+/// Objective value Σ_i w_i ||p_i − x||.
+double weighted_distance_sum(const std::vector<mesh::Vec3>& points,
+                             const std::vector<double>& weights,
+                             const mesh::Vec3& x);
+
+}  // namespace mmhar::core

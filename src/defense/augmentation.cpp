@@ -1,0 +1,38 @@
+#include "defense/augmentation.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace mmhar::defense {
+
+har::Dataset augment_with_correct_labels(
+    const har::Dataset& poisoned_train,
+    const har::Dataset& triggered_correct, std::size_t victim_label,
+    const AugmentationConfig& config) {
+  MMHAR_REQUIRE(config.augmentation_rate >= 0.0, "negative rate");
+  har::Dataset augmented = poisoned_train;
+
+  const auto victims = poisoned_train.indices_of_label(victim_label);
+  // Note: some victim samples were re-labeled by the poisoner, so size
+  // the augmentation against the triggered pool when victims are scarce.
+  const std::size_t base =
+      std::max(victims.size(), triggered_correct.size() / 2);
+  std::size_t n_aug = static_cast<std::size_t>(
+      std::lround(config.augmentation_rate * static_cast<double>(base)));
+  n_aug = std::min(n_aug, triggered_correct.size());
+  if (n_aug == 0) return augmented;
+
+  Rng rng(config.seed);
+  const auto chosen =
+      rng.sample_without_replacement(triggered_correct.size(), n_aug);
+  for (const std::size_t i : chosen) {
+    har::Sample s = triggered_correct.sample(i);
+    s.label = victim_label;  // the true activity, not the attacker's target
+    augmented.add(std::move(s));
+  }
+  return augmented;
+}
+
+}  // namespace mmhar::defense

@@ -1,0 +1,28 @@
+// Data-augmentation defense (paper §VII, second countermeasure).
+//
+// The defender adds trigger-bearing heatmaps with their CORRECT activity
+// labels to the training set, teaching the model that "trigger present"
+// is not evidence for the target class. The defense is evaluated by the
+// drop in ASR it induces on an otherwise identical poisoning attempt.
+#pragma once
+
+#include "har/dataset.h"
+
+namespace mmhar::defense {
+
+struct AugmentationConfig {
+  /// How many correctly-labeled triggered samples to add, as a fraction
+  /// of the victim-class count.
+  double augmentation_rate = 0.5;
+  std::uint64_t seed = 33;
+};
+
+/// Build the augmented training set: `poisoned_train` plus
+/// `augmentation_rate * |victim class|` samples drawn from
+/// `triggered_correct` (triggered twins carrying their true labels).
+har::Dataset augment_with_correct_labels(
+    const har::Dataset& poisoned_train,
+    const har::Dataset& triggered_correct, std::size_t victim_label,
+    const AugmentationConfig& config);
+
+}  // namespace mmhar::defense

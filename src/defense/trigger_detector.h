@@ -1,0 +1,66 @@
+// Trigger-detection defense (paper §VII).
+//
+// A lightweight binary CNN classifies individual DRAI heatmap frames as
+// clean vs trigger-bearing. A whole activity sample is flagged when the
+// fraction of trigger-positive frames exceeds a threshold. The detector
+// is trained on clean samples plus triggered twins — the defender can
+// synthesize these with the same RF simulation the attacker uses.
+#pragma once
+
+#include <cstdint>
+
+#include "har/dataset.h"
+#include "nn/sequential.h"
+
+namespace mmhar::defense {
+
+struct DetectorConfig {
+  std::size_t height = 32;
+  std::size_t width = 32;
+  std::size_t epochs = 10;
+  std::size_t batch_size = 32;
+  float learning_rate = 1.5e-3F;
+  double frame_flag_threshold = 0.5;  ///< per-frame positive probability
+  double sample_flag_fraction = 0.3;  ///< fraction of flagged frames
+  std::uint64_t seed = 77;
+};
+
+struct DetectorMetrics {
+  double frame_accuracy = 0.0;      ///< per-frame clean/triggered accuracy
+  double sample_recall = 0.0;       ///< triggered samples flagged
+  double sample_false_positive = 0.0;  ///< clean samples flagged
+};
+
+class TriggerDetector {
+ public:
+  explicit TriggerDetector(const DetectorConfig& config);
+
+  /// Train on per-frame examples drawn from `clean` (label 0) and
+  /// `triggered` (label 1) datasets.
+  void train(const har::Dataset& clean, const har::Dataset& triggered);
+
+  /// Probability that a single frame [H, W] contains a trigger.
+  double frame_probability(const Tensor& frame);
+
+  /// Fraction of a sample's frames flagged as triggered.
+  double flagged_fraction(const Tensor& sample_heatmaps);
+
+  /// Whole-sample decision.
+  bool is_triggered(const Tensor& sample_heatmaps);
+
+  /// Evaluate on held-out datasets.
+  DetectorMetrics evaluate(const har::Dataset& clean,
+                           const har::Dataset& triggered);
+
+  const DetectorConfig& config() const { return config_; }
+
+ private:
+  Tensor frames_batch(const har::Dataset& ds,
+                      const std::vector<std::size_t>& sample_indices,
+                      const std::vector<std::size_t>& frame_indices) const;
+
+  DetectorConfig config_;
+  nn::Sequential net_;
+};
+
+}  // namespace mmhar::defense

@@ -1,0 +1,89 @@
+#include "dsp/cfar.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar::dsp {
+
+std::vector<Detection> cfar_detect(const Tensor& heatmap,
+                                   const CfarConfig& config) {
+  MMHAR_REQUIRE(heatmap.rank() == 2, "CFAR expects a rank-2 heatmap");
+  MMHAR_REQUIRE(config.training_cells >= 1, "need at least one training cell");
+  MMHAR_REQUIRE(config.threshold_factor > 0.0F,
+                "threshold factor must be positive");
+  const std::ptrdiff_t rows = static_cast<std::ptrdiff_t>(heatmap.dim(0));
+  const std::ptrdiff_t cols = static_cast<std::ptrdiff_t>(heatmap.dim(1));
+  const std::ptrdiff_t guard = static_cast<std::ptrdiff_t>(config.guard_cells);
+  const std::ptrdiff_t outer =
+      guard + static_cast<std::ptrdiff_t>(config.training_cells);
+
+  std::vector<Detection> detections;
+  for (std::ptrdiff_t r = 0; r < rows; ++r) {
+    for (std::ptrdiff_t c = 0; c < cols; ++c) {
+      if (!config.clip_borders &&
+          (r < outer || r >= rows - outer || c < outer || c >= cols - outer))
+        continue;
+
+      double noise_sum = 0.0;
+      std::size_t noise_count = 0;
+      for (std::ptrdiff_t dr = -outer; dr <= outer; ++dr) {
+        for (std::ptrdiff_t dc = -outer; dc <= outer; ++dc) {
+          if (std::abs(dr) <= guard && std::abs(dc) <= guard)
+            continue;  // guard window (includes the cell under test)
+          const std::ptrdiff_t rr = r + dr;
+          const std::ptrdiff_t cc = c + dc;
+          if (rr < 0 || rr >= rows || cc < 0 || cc >= cols) continue;
+          noise_sum += heatmap.at(static_cast<std::size_t>(rr),
+                                  static_cast<std::size_t>(cc));
+          ++noise_count;
+        }
+      }
+      if (noise_count == 0) continue;
+      const float noise =
+          static_cast<float>(noise_sum / static_cast<double>(noise_count));
+      const float value = heatmap.at(static_cast<std::size_t>(r),
+                                     static_cast<std::size_t>(c));
+      if (value > config.threshold_factor * noise) {
+        detections.push_back(Detection{static_cast<std::size_t>(r),
+                                       static_cast<std::size_t>(c), value,
+                                       noise});
+      }
+    }
+  }
+  return detections;
+}
+
+std::vector<Detection> non_max_suppress(std::vector<Detection> detections,
+                                        std::size_t radius) {
+  std::sort(detections.begin(), detections.end(),
+            [](const Detection& a, const Detection& b) {
+              return a.value > b.value;
+            });
+  std::vector<Detection> kept;
+  for (const Detection& d : detections) {
+    bool suppressed = false;
+    for (const Detection& k : kept) {
+      const std::size_t dr = d.row > k.row ? d.row - k.row : k.row - d.row;
+      const std::size_t dc = d.col > k.col ? d.col - k.col : k.col - d.col;
+      if (dr <= radius && dc <= radius) {
+        suppressed = true;
+        break;
+      }
+    }
+    if (!suppressed) kept.push_back(d);
+  }
+  return kept;
+}
+
+std::vector<Detection> detect_peaks(const Tensor& heatmap,
+                                    const CfarConfig& config,
+                                    std::size_t max_peaks,
+                                    std::size_t nms_radius) {
+  auto peaks = non_max_suppress(cfar_detect(heatmap, config), nms_radius);
+  if (peaks.size() > max_peaks) peaks.resize(max_peaks);
+  return peaks;
+}
+
+}  // namespace mmhar::dsp

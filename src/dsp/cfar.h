@@ -1,0 +1,51 @@
+// 2-D cell-averaging CFAR (constant false-alarm rate) detection.
+//
+// Standard mmWave detection stage: a cell is declared a target when its
+// magnitude exceeds the average of a surrounding training ring (guard
+// cells excluded) by a threshold factor. Used by the analysis tooling to
+// extract discrete detections (e.g. the trigger blob) from DRAI/RDI
+// heatmaps, and by tests to verify trigger visibility objectively.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mmhar::dsp {
+
+struct CfarConfig {
+  std::size_t guard_cells = 1;     ///< half-width of the guard window
+  std::size_t training_cells = 3;  ///< half-width of the training ring
+  float threshold_factor = 4.0F;   ///< detection factor over the noise mean
+  /// Cells whose training ring falls partly outside the map use the
+  /// available cells only (true) or are skipped entirely (false).
+  bool clip_borders = true;
+};
+
+struct Detection {
+  std::size_t row = 0;       ///< range bin
+  std::size_t col = 0;       ///< angle (or Doppler) bin
+  float value = 0.0F;        ///< cell magnitude
+  float noise_level = 0.0F;  ///< estimated local noise mean
+  float snr() const {
+    return noise_level > 0.0F ? value / noise_level : 0.0F;
+  }
+};
+
+/// Run CA-CFAR over a rank-2 heatmap; returns all detections.
+std::vector<Detection> cfar_detect(const Tensor& heatmap,
+                                   const CfarConfig& config);
+
+/// Suppress non-maximum detections within a (2r+1)^2 neighborhood,
+/// keeping the strongest; returns peaks sorted by descending value.
+std::vector<Detection> non_max_suppress(std::vector<Detection> detections,
+                                        std::size_t radius);
+
+/// Convenience: CFAR + NMS, top `max_peaks` peaks.
+std::vector<Detection> detect_peaks(const Tensor& heatmap,
+                                    const CfarConfig& config,
+                                    std::size_t max_peaks,
+                                    std::size_t nms_radius = 2);
+
+}  // namespace mmhar::dsp

@@ -1,0 +1,131 @@
+#include "dsp/fft.h"
+
+#include <cmath>
+#include <map>
+#include <mutex>
+
+#include "common/check.h"
+
+namespace mmhar::dsp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+struct Plan {
+  std::vector<std::size_t> bit_reverse;  // permutation indices
+  std::vector<cfloat> twiddles;          // per-stage roots of unity
+};
+
+// Build the bit-reversal permutation and twiddle ladder for size n.
+Plan build_plan(std::size_t n) {
+  Plan plan;
+  plan.bit_reverse.resize(n);
+  std::size_t log2n = 0;
+  while ((std::size_t{1} << log2n) < n) ++log2n;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t rev = 0;
+    for (std::size_t b = 0; b < log2n; ++b)
+      if (i & (std::size_t{1} << b)) rev |= std::size_t{1} << (log2n - 1 - b);
+    plan.bit_reverse[i] = rev;
+  }
+  // Twiddles for each butterfly stage, concatenated: stage m uses m/2 roots.
+  for (std::size_t m = 2; m <= n; m <<= 1) {
+    for (std::size_t j = 0; j < m / 2; ++j) {
+      const double angle = -2.0 * kPi * static_cast<double>(j) /
+                           static_cast<double>(m);
+      plan.twiddles.emplace_back(static_cast<float>(std::cos(angle)),
+                                 static_cast<float>(std::sin(angle)));
+    }
+  }
+  return plan;
+}
+
+const Plan& plan_for(std::size_t n) {
+  static std::mutex mu;
+  static std::map<std::size_t, Plan> plans;
+  std::lock_guard<std::mutex> lk(mu);
+  auto it = plans.find(n);
+  if (it == plans.end()) it = plans.emplace(n, build_plan(n)).first;
+  return it->second;
+}
+
+}  // namespace
+
+bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
+
+void fft_inplace(std::span<cfloat> data) {
+  const std::size_t n = data.size();
+  if (n <= 1) return;
+  MMHAR_REQUIRE(is_power_of_two(n), "FFT size must be a power of two, got " << n);
+  const Plan& plan = plan_for(n);
+
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t j = plan.bit_reverse[i];
+    if (i < j) std::swap(data[i], data[j]);
+  }
+
+  std::size_t tw_off = 0;
+  for (std::size_t m = 2; m <= n; m <<= 1) {
+    const std::size_t half = m / 2;
+    for (std::size_t start = 0; start < n; start += m) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const cfloat w = plan.twiddles[tw_off + j];
+        const cfloat t = w * data[start + j + half];
+        const cfloat u = data[start + j];
+        data[start + j] = u + t;
+        data[start + j + half] = u - t;
+      }
+    }
+    tw_off += half;
+  }
+}
+
+void ifft_inplace(std::span<cfloat> data) {
+  for (auto& v : data) v = std::conj(v);
+  fft_inplace(data);
+  const float inv = 1.0F / static_cast<float>(data.size());
+  for (auto& v : data) v = std::conj(v) * inv;
+}
+
+std::vector<cfloat> fft(std::span<const cfloat> data) {
+  std::vector<cfloat> out(data.begin(), data.end());
+  fft_inplace(out);
+  return out;
+}
+
+std::vector<cfloat> ifft(std::span<const cfloat> data) {
+  std::vector<cfloat> out(data.begin(), data.end());
+  ifft_inplace(out);
+  return out;
+}
+
+std::vector<cfloat> dft_reference(std::span<const cfloat> data) {
+  const std::size_t n = data.size();
+  std::vector<cfloat> out(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    std::complex<double> acc{0.0, 0.0};
+    for (std::size_t t = 0; t < n; ++t) {
+      const double angle = -2.0 * kPi * static_cast<double>(k) *
+                           static_cast<double>(t) / static_cast<double>(n);
+      acc += std::complex<double>(data[t]) *
+             std::complex<double>(std::cos(angle), std::sin(angle));
+    }
+    out[k] = cfloat(static_cast<float>(acc.real()),
+                    static_cast<float>(acc.imag()));
+  }
+  return out;
+}
+
+void fftshift_inplace(std::span<cfloat> data) {
+  const std::size_t n = data.size();
+  MMHAR_REQUIRE(n % 2 == 0, "fftshift needs even length");
+  for (std::size_t i = 0; i < n / 2; ++i) std::swap(data[i], data[i + n / 2]);
+}
+
+void fftshift_inplace(std::span<float> data) {
+  const std::size_t n = data.size();
+  MMHAR_REQUIRE(n % 2 == 0, "fftshift needs even length");
+  for (std::size_t i = 0; i < n / 2; ++i) std::swap(data[i], data[i + n / 2]);
+}
+
+}  // namespace mmhar::dsp

@@ -1,0 +1,42 @@
+// Iterative radix-2 complex FFT with cached twiddle tables.
+//
+// All radar processing dimensions (ADC samples, chirps, angle padding) are
+// powers of two, so a radix-2 kernel suffices. Twiddle factors and the
+// bit-reversal permutation are computed once per size and shared behind a
+// mutex; the transform itself is lock-free.
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace mmhar::dsp {
+
+using cfloat = std::complex<float>;
+
+/// True if n is a power of two (and nonzero).
+bool is_power_of_two(std::size_t n);
+
+/// In-place forward FFT of length-n power-of-two complex data.
+void fft_inplace(std::span<cfloat> data);
+
+/// In-place inverse FFT (includes the 1/n normalization).
+void ifft_inplace(std::span<cfloat> data);
+
+/// Out-of-place forward FFT.
+std::vector<cfloat> fft(std::span<const cfloat> data);
+
+/// Out-of-place inverse FFT.
+std::vector<cfloat> ifft(std::span<const cfloat> data);
+
+/// Naive O(n^2) DFT used as the test oracle (any length).
+std::vector<cfloat> dft_reference(std::span<const cfloat> data);
+
+/// Rotate a spectrum so the zero bin lands at the center (even n).
+void fftshift_inplace(std::span<cfloat> data);
+
+/// fftshift for real-valued magnitude vectors.
+void fftshift_inplace(std::span<float> data);
+
+}  // namespace mmhar::dsp

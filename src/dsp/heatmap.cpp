@@ -1,0 +1,164 @@
+#include "dsp/heatmap.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace mmhar::dsp {
+
+RadarCube::RadarCube(std::size_t num_chirps, std::size_t num_antennas,
+                     std::size_t num_samples)
+    : num_chirps_(num_chirps),
+      num_antennas_(num_antennas),
+      num_samples_(num_samples),
+      data_(num_chirps * num_antennas * num_samples, cfloat{0.0F, 0.0F}) {
+  MMHAR_REQUIRE(num_chirps > 0 && num_antennas > 0 && num_samples > 0,
+                "RadarCube dimensions must be positive");
+}
+
+cfloat& RadarCube::at(std::size_t chirp, std::size_t antenna,
+                      std::size_t sample) {
+  MMHAR_CHECK(chirp < num_chirps_ && antenna < num_antennas_ &&
+              sample < num_samples_);
+  return data_[(chirp * num_antennas_ + antenna) * num_samples_ + sample];
+}
+
+const cfloat& RadarCube::at(std::size_t chirp, std::size_t antenna,
+                            std::size_t sample) const {
+  MMHAR_CHECK(chirp < num_chirps_ && antenna < num_antennas_ &&
+              sample < num_samples_);
+  return data_[(chirp * num_antennas_ + antenna) * num_samples_ + sample];
+}
+
+cfloat* RadarCube::row(std::size_t chirp, std::size_t antenna) {
+  return data_.data() + (chirp * num_antennas_ + antenna) * num_samples_;
+}
+
+const cfloat* RadarCube::row(std::size_t chirp, std::size_t antenna) const {
+  return data_.data() + (chirp * num_antennas_ + antenna) * num_samples_;
+}
+
+RangeSpectra range_fft(const RadarCube& cube, const HeatmapConfig& cfg) {
+  const std::size_t n = cube.num_samples();
+  MMHAR_REQUIRE(is_power_of_two(n), "ADC sample count must be a power of two");
+  MMHAR_REQUIRE(cfg.range_bins > 0 && cfg.range_bins <= n,
+                "range_bins must be in (0, num_samples]");
+
+  const auto window = make_window(cfg.range_window, n);
+
+  RangeSpectra out;
+  out.num_chirps = cube.num_chirps();
+  out.num_antennas = cube.num_antennas();
+  out.range_bins = cfg.range_bins;
+  out.data.resize(out.num_chirps * out.num_antennas * out.range_bins);
+
+  std::vector<cfloat> buf(n);
+  for (std::size_t q = 0; q < cube.num_chirps(); ++q) {
+    for (std::size_t k = 0; k < cube.num_antennas(); ++k) {
+      const cfloat* row = cube.row(q, k);
+      for (std::size_t i = 0; i < n; ++i) buf[i] = row[i] * window[i];
+      fft_inplace(buf);
+      for (std::size_t r = 0; r < cfg.range_bins; ++r)
+        out.at(q, k, r) = buf[r];
+    }
+  }
+  if (cfg.remove_clutter) remove_static_clutter(out);
+  return out;
+}
+
+void remove_static_clutter(RangeSpectra& spectra) {
+  const std::size_t q_total = spectra.num_chirps;
+  if (q_total < 2) return;  // nothing to average against
+  const float inv_q = 1.0F / static_cast<float>(q_total);
+  for (std::size_t k = 0; k < spectra.num_antennas; ++k) {
+    for (std::size_t r = 0; r < spectra.range_bins; ++r) {
+      cfloat mean{0.0F, 0.0F};
+      for (std::size_t q = 0; q < q_total; ++q) mean += spectra.at(q, k, r);
+      mean *= inv_q;
+      for (std::size_t q = 0; q < q_total; ++q) spectra.at(q, k, r) -= mean;
+    }
+  }
+}
+
+Tensor compute_rdi(const RadarCube& cube, const HeatmapConfig& cfg) {
+  RangeSpectra spectra = range_fft(cube, cfg);
+  const std::size_t q_total = spectra.num_chirps;
+  const std::size_t d_bins = cfg.doppler_bins == 0 ? q_total : cfg.doppler_bins;
+  MMHAR_REQUIRE(is_power_of_two(d_bins) && d_bins >= q_total,
+                "doppler_bins must be a power of two >= num_chirps");
+
+  const auto window = make_window(cfg.doppler_window, q_total);
+  Tensor rdi({d_bins, spectra.range_bins});
+
+  std::vector<cfloat> buf(d_bins);
+  for (std::size_t k = 0; k < spectra.num_antennas; ++k) {
+    for (std::size_t r = 0; r < spectra.range_bins; ++r) {
+      std::fill(buf.begin(), buf.end(), cfloat{0.0F, 0.0F});
+      for (std::size_t q = 0; q < q_total; ++q)
+        buf[q] = spectra.at(q, k, r) * window[q];
+      fft_inplace(buf);
+      fftshift_inplace(std::span<cfloat>(buf));
+      for (std::size_t d = 0; d < d_bins; ++d)
+        rdi.at(d, r) += std::abs(buf[d]);
+    }
+  }
+  return cfg.normalize ? normalize01(rdi) : rdi;
+}
+
+Tensor compute_drai(const RadarCube& cube, const HeatmapConfig& cfg) {
+  RangeSpectra spectra = range_fft(cube, cfg);
+  const std::size_t a_bins = cfg.angle_bins;
+  MMHAR_REQUIRE(is_power_of_two(a_bins) && a_bins >= spectra.num_antennas,
+                "angle_bins must be a power of two >= num_antennas");
+
+  Tensor drai({spectra.range_bins, a_bins});
+  std::vector<cfloat> buf(a_bins);
+  for (std::size_t q = 0; q < spectra.num_chirps; ++q) {
+    for (std::size_t r = 0; r < spectra.range_bins; ++r) {
+      std::fill(buf.begin(), buf.end(), cfloat{0.0F, 0.0F});
+      for (std::size_t k = 0; k < spectra.num_antennas; ++k)
+        buf[k] = spectra.at(q, k, r);
+      fft_inplace(buf);
+      fftshift_inplace(std::span<cfloat>(buf));
+      for (std::size_t a = 0; a < a_bins; ++a)
+        drai.at(r, a) += std::abs(buf[a]);
+    }
+  }
+  if (cfg.log_scale) drai = to_db(drai, cfg.db_floor);
+  return cfg.normalize ? normalize01(drai) : drai;
+}
+
+Tensor range_profile(const RadarCube& cube, const HeatmapConfig& cfg) {
+  RangeSpectra spectra = range_fft(cube, cfg);
+  Tensor profile({spectra.range_bins});
+  for (std::size_t q = 0; q < spectra.num_chirps; ++q)
+    for (std::size_t k = 0; k < spectra.num_antennas; ++k)
+      for (std::size_t r = 0; r < spectra.range_bins; ++r)
+        profile[r] += std::abs(spectra.at(q, k, r));
+  return profile;
+}
+
+Tensor compute_drai_sequence(const std::vector<RadarCube>& frames,
+                             const HeatmapConfig& cfg) {
+  MMHAR_REQUIRE(!frames.empty(), "empty frame sequence");
+  HeatmapConfig frame_cfg = cfg;
+  if (cfg.normalize_per_sequence) {
+    frame_cfg.normalize = false;
+    frame_cfg.log_scale = false;  // applied once over the whole sequence
+  }
+  Tensor seq({frames.size(), cfg.range_bins, cfg.angle_bins});
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const Tensor h = compute_drai(frames[f], frame_cfg);
+    std::copy(h.data(), h.data() + h.size(),
+              seq.data() + f * cfg.range_bins * cfg.angle_bins);
+  }
+  if (cfg.normalize_per_sequence) {
+    if (cfg.log_scale) seq = to_db(seq, cfg.db_floor);
+    if (cfg.normalize) return normalize01(seq);
+  }
+  return seq;
+}
+
+}  // namespace mmhar::dsp

@@ -1,0 +1,109 @@
+// Radar-cube processing: Range-FFT, Doppler-FFT, Angle-FFT, static-clutter
+// removal, and the RDI / DRAI heatmap builders the HAR prototype consumes.
+//
+// Terminology follows the paper (§II-A):
+//  * RDI  — Range-Doppler Image, per-frame [doppler_bins x range_bins].
+//  * DRAI — Dynamic Range-Angle Image, per-frame [range_bins x angle_bins],
+//           computed after clutter removal so only moving reflectors remain.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "dsp/fft.h"
+#include "dsp/window.h"
+#include "tensor/tensor.h"
+
+namespace mmhar::dsp {
+
+/// One frame of raw IF samples: chirps x virtual antennas x ADC samples.
+class RadarCube {
+ public:
+  RadarCube(std::size_t num_chirps, std::size_t num_antennas,
+            std::size_t num_samples);
+
+  std::size_t num_chirps() const { return num_chirps_; }
+  std::size_t num_antennas() const { return num_antennas_; }
+  std::size_t num_samples() const { return num_samples_; }
+
+  cfloat& at(std::size_t chirp, std::size_t antenna, std::size_t sample);
+  const cfloat& at(std::size_t chirp, std::size_t antenna,
+                   std::size_t sample) const;
+
+  /// Contiguous sample row for one (chirp, antenna) pair.
+  cfloat* row(std::size_t chirp, std::size_t antenna);
+  const cfloat* row(std::size_t chirp, std::size_t antenna) const;
+
+  std::vector<cfloat>& raw() { return data_; }
+  const std::vector<cfloat>& raw() const { return data_; }
+
+ private:
+  std::size_t num_chirps_;
+  std::size_t num_antennas_;
+  std::size_t num_samples_;
+  std::vector<cfloat> data_;
+};
+
+/// Knobs for the FFT processing chain.
+struct HeatmapConfig {
+  std::size_t range_bins = 32;    ///< bins kept from the range FFT (crop)
+  std::size_t angle_bins = 32;    ///< zero-padded angle-FFT length
+  std::size_t doppler_bins = 0;   ///< 0 -> use num_chirps
+  WindowKind range_window = WindowKind::Hann;
+  WindowKind doppler_window = WindowKind::Hann;
+  bool remove_clutter = true;     ///< MTI: subtract per-(antenna,range) mean
+  bool normalize = true;          ///< min-max normalize the final heatmap
+  /// Convert magnitudes to dB (with `db_floor` clamping) before
+  /// normalization — the standard display/processing scale for radar
+  /// heatmaps; compresses the dynamic range between strong and weak
+  /// scatterers.
+  bool log_scale = false;
+  float db_floor = 1e-3F;
+  /// Sequence builders normalize over the whole activity instead of per
+  /// frame, preserving relative energy between frames (a frame with a
+  /// strong reflector stays brighter than a quiet one).
+  bool normalize_per_sequence = true;
+};
+
+/// Range spectra after windowed Range-FFT (and optional clutter removal):
+/// layout [chirp][antenna][range_bin].
+struct RangeSpectra {
+  std::size_t num_chirps = 0;
+  std::size_t num_antennas = 0;
+  std::size_t range_bins = 0;
+  std::vector<cfloat> data;
+
+  cfloat& at(std::size_t chirp, std::size_t antenna, std::size_t bin) {
+    return data[(chirp * num_antennas + antenna) * range_bins + bin];
+  }
+  const cfloat& at(std::size_t chirp, std::size_t antenna,
+                   std::size_t bin) const {
+    return data[(chirp * num_antennas + antenna) * range_bins + bin];
+  }
+};
+
+/// Stage 1+2: windowed Range-FFT and (optionally) static clutter removal.
+RangeSpectra range_fft(const RadarCube& cube, const HeatmapConfig& cfg);
+
+/// Subtract the across-chirp mean per (antenna, range) cell — removes
+/// returns from static objects (walls, furniture, torso at rest).
+void remove_static_clutter(RangeSpectra& spectra);
+
+/// Range-Doppler Image: [doppler_bins x range_bins], Doppler-shifted so
+/// zero velocity is the center row. Magnitudes are summed over antennas.
+Tensor compute_rdi(const RadarCube& cube, const HeatmapConfig& cfg);
+
+/// Dynamic Range-Angle Image: [range_bins x angle_bins]; angle axis is the
+/// fftshifted zero-padded FFT across the virtual ULA, magnitudes summed
+/// over chirps after clutter removal.
+Tensor compute_drai(const RadarCube& cube, const HeatmapConfig& cfg);
+
+/// Non-coherent range profile (magnitude summed over chirps and antennas).
+Tensor range_profile(const RadarCube& cube, const HeatmapConfig& cfg);
+
+/// Process a whole activity (sequence of frames) into DRAI heatmaps:
+/// returns a [frames x range_bins x angle_bins] tensor.
+Tensor compute_drai_sequence(const std::vector<RadarCube>& frames,
+                             const HeatmapConfig& cfg);
+
+}  // namespace mmhar::dsp

@@ -1,0 +1,45 @@
+// Micro-Doppler signature extraction.
+//
+// The micro-Doppler spectrogram — Doppler spectrum per frame, stacked
+// over time — is the classic visualization of human micro-motion in
+// radar HAR (paper §VIII cites Doppler-profile systems). It complements
+// the DRAI sequences the classifier uses and powers the analysis tooling
+// (e.g. confirming that Push and Pull are time-mirrored in velocity).
+#pragma once
+
+#include <vector>
+
+#include "dsp/heatmap.h"
+#include "tensor/tensor.h"
+
+namespace mmhar::dsp {
+
+struct MicroDopplerConfig {
+  std::size_t doppler_bins = 0;  ///< 0 -> chirps per frame
+  WindowKind window = WindowKind::Hann;
+  bool remove_clutter = true;
+  bool normalize = true;
+  /// Range gate: only bins [min_range_bin, max_range_bin) contribute,
+  /// isolating the subject from residual environment returns.
+  std::size_t min_range_bin = 0;
+  std::size_t max_range_bin = 32;
+  std::size_t range_bins = 32;  ///< range-FFT crop used for gating
+};
+
+/// One frame's Doppler spectrum (energy per Doppler bin, fftshifted so
+/// the center bin is zero velocity), summed over antennas and gated
+/// range bins.
+Tensor doppler_spectrum(const RadarCube& cube,
+                        const MicroDopplerConfig& config);
+
+/// Spectrogram over an activity: [frames x doppler_bins]. Row f is the
+/// Doppler spectrum of frame f; positive rows (above center) correspond
+/// to approaching motion.
+Tensor micro_doppler_spectrogram(const std::vector<RadarCube>& frames,
+                                 const MicroDopplerConfig& config);
+
+/// Mean Doppler bin offset (centroid - center) per frame; sign traces the
+/// radial direction of the dominant motion over time.
+std::vector<double> doppler_centroid_track(const Tensor& spectrogram);
+
+}  // namespace mmhar::dsp

@@ -1,0 +1,46 @@
+#include "dsp/window.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar::dsp {
+namespace {
+constexpr double kPi = 3.14159265358979323846;
+}
+
+std::vector<float> make_window(WindowKind kind, std::size_t n) {
+  MMHAR_REQUIRE(n > 0, "window length must be positive");
+  std::vector<float> w(n, 1.0F);
+  if (n == 1 || kind == WindowKind::Rect) return w;
+  const double denom = static_cast<double>(n - 1);
+  for (std::size_t i = 0; i < n; ++i) {
+    const double x = static_cast<double>(i) / denom;
+    double v = 1.0;
+    switch (kind) {
+      case WindowKind::Rect:
+        v = 1.0;
+        break;
+      case WindowKind::Hann:
+        v = 0.5 - 0.5 * std::cos(2.0 * kPi * x);
+        break;
+      case WindowKind::Hamming:
+        v = 0.54 - 0.46 * std::cos(2.0 * kPi * x);
+        break;
+      case WindowKind::Blackman:
+        v = 0.42 - 0.5 * std::cos(2.0 * kPi * x) +
+            0.08 * std::cos(4.0 * kPi * x);
+        break;
+    }
+    w[i] = static_cast<float>(v);
+  }
+  return w;
+}
+
+float coherent_gain(const std::vector<float>& window) {
+  double acc = 0.0;
+  for (const auto v : window) acc += v;
+  return static_cast<float>(acc / static_cast<double>(window.size()));
+}
+
+}  // namespace mmhar::dsp

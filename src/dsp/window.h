@@ -1,0 +1,17 @@
+// Window functions used before range/Doppler FFTs to control leakage.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace mmhar::dsp {
+
+enum class WindowKind { Rect, Hann, Hamming, Blackman };
+
+/// Sample a window of the given kind and length.
+std::vector<float> make_window(WindowKind kind, std::size_t n);
+
+/// Coherent gain (mean of the window), for amplitude compensation.
+float coherent_gain(const std::vector<float>& window);
+
+}  // namespace mmhar::dsp

@@ -1,0 +1,91 @@
+#include "har/metrics.h"
+
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace mmhar::har {
+
+ConfusionMatrix::ConfusionMatrix(std::size_t num_classes)
+    : num_classes_(num_classes), counts_(num_classes * num_classes, 0) {
+  MMHAR_REQUIRE(num_classes > 0, "need at least one class");
+}
+
+void ConfusionMatrix::add(std::size_t true_label,
+                          std::size_t predicted_label) {
+  MMHAR_REQUIRE(true_label < num_classes_ && predicted_label < num_classes_,
+                "label out of range");
+  ++counts_[true_label * num_classes_ + predicted_label];
+  ++total_;
+}
+
+std::size_t ConfusionMatrix::count(std::size_t true_label,
+                                   std::size_t predicted) const {
+  MMHAR_REQUIRE(true_label < num_classes_ && predicted < num_classes_,
+                "label out of range");
+  return counts_[true_label * num_classes_ + predicted];
+}
+
+double ConfusionMatrix::accuracy() const {
+  if (total_ == 0) return 0.0;
+  std::size_t diag = 0;
+  for (std::size_t c = 0; c < num_classes_; ++c)
+    diag += counts_[c * num_classes_ + c];
+  return static_cast<double>(diag) / static_cast<double>(total_);
+}
+
+std::vector<double> ConfusionMatrix::per_class_recall() const {
+  std::vector<double> out(num_classes_, 0.0);
+  for (std::size_t t = 0; t < num_classes_; ++t) {
+    std::size_t row = 0;
+    for (std::size_t p = 0; p < num_classes_; ++p)
+      row += counts_[t * num_classes_ + p];
+    if (row > 0)
+      out[t] = static_cast<double>(counts_[t * num_classes_ + t]) /
+               static_cast<double>(row);
+  }
+  return out;
+}
+
+std::vector<double> ConfusionMatrix::per_class_precision() const {
+  std::vector<double> out(num_classes_, 0.0);
+  for (std::size_t p = 0; p < num_classes_; ++p) {
+    std::size_t col = 0;
+    for (std::size_t t = 0; t < num_classes_; ++t)
+      col += counts_[t * num_classes_ + p];
+    if (col > 0)
+      out[p] = static_cast<double>(counts_[p * num_classes_ + p]) /
+               static_cast<double>(col);
+  }
+  return out;
+}
+
+std::string ConfusionMatrix::to_string(
+    const std::vector<std::string>& class_names) const {
+  const auto name_of = [&](std::size_t i) {
+    if (i < class_names.size()) return class_names[i];
+    return "class" + std::to_string(i);
+  };
+  std::size_t width = 6;
+  for (std::size_t i = 0; i < num_classes_; ++i)
+    width = std::max(width, name_of(i).size() + 1);
+
+  std::ostringstream os;
+  os << std::setw(static_cast<int>(width)) << "T\\P";
+  for (std::size_t p = 0; p < num_classes_; ++p)
+    os << std::setw(static_cast<int>(width)) << name_of(p);
+  os << "\n";
+  for (std::size_t t = 0; t < num_classes_; ++t) {
+    os << std::setw(static_cast<int>(width)) << name_of(t);
+    for (std::size_t p = 0; p < num_classes_; ++p)
+      os << std::setw(static_cast<int>(width))
+         << counts_[t * num_classes_ + p];
+    os << "\n";
+  }
+  os << "accuracy: " << std::fixed << std::setprecision(2)
+     << 100.0 * accuracy() << "% over " << total_ << " samples";
+  return os.str();
+}
+
+}  // namespace mmhar::har

@@ -1,0 +1,36 @@
+// Classification metrics: confusion matrix and derived statistics.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace mmhar::har {
+
+class ConfusionMatrix {
+ public:
+  explicit ConfusionMatrix(std::size_t num_classes);
+
+  void add(std::size_t true_label, std::size_t predicted_label);
+  std::size_t count(std::size_t true_label, std::size_t predicted) const;
+  std::size_t total() const { return total_; }
+
+  /// Overall accuracy (0 when empty).
+  double accuracy() const;
+  /// Per-class recall (diagonal / row sum; 0 for empty rows).
+  std::vector<double> per_class_recall() const;
+  /// Per-class precision (diagonal / column sum; 0 for empty columns).
+  std::vector<double> per_class_precision() const;
+
+  /// Pretty table, optionally with class names (paper Fig. 7 style).
+  std::string to_string(const std::vector<std::string>& class_names = {}) const;
+
+  std::size_t num_classes() const { return num_classes_; }
+
+ private:
+  std::size_t num_classes_;
+  std::size_t total_ = 0;
+  std::vector<std::size_t> counts_;  // row-major [true][pred]
+};
+
+}  // namespace mmhar::har

@@ -1,0 +1,147 @@
+#include "har/model.h"
+
+#include <cmath>
+
+#include "common/serialize.h"
+#include "nn/activation.h"
+
+namespace mmhar::har {
+
+HarModel::HarModel(const HarModelConfig& config) : config_(config) {
+  MMHAR_REQUIRE(config.height % 8 == 0 && config.width % 8 == 0,
+                "heatmap dims must be divisible by 8 (two stride-2 convs "
+                "plus one 2x2 pool)");
+  Rng rng(config.seed);
+
+  // Frame CNN: 32x32 -> conv(s2) 16x16 -> conv(s2) 8x8 -> pool 4x4.
+  cnn_.emplace<nn::Conv2D>(1, config.conv1_channels, 5, 2, 2, rng);
+  cnn_.emplace<nn::ReLU>();
+  cnn_.emplace<nn::Conv2D>(config.conv1_channels, config.conv2_channels, 3, 2,
+                           1, rng);
+  cnn_.emplace<nn::ReLU>();
+  cnn_.emplace<nn::MaxPool2D>(2);
+  cnn_.emplace<nn::Flatten>();
+  const std::size_t spatial =
+      (config.height / 8) * (config.width / 8) * config.conv2_channels;
+  cnn_.emplace<nn::Dense>(spatial, config.feature_dim, rng);
+  cnn_.emplace<nn::ReLU>();
+
+  lstm_ = std::make_unique<nn::LSTM>(config.feature_dim, config.lstm_hidden,
+                                     rng, /*return_sequence=*/false);
+  head_ = std::make_unique<nn::Dense>(config.lstm_hidden, config.num_classes,
+                                      rng);
+}
+
+Tensor HarModel::forward(const Tensor& batch, bool training) {
+  MMHAR_REQUIRE(batch.rank() == 4 && batch.dim(1) == config_.frames &&
+                    batch.dim(2) == config_.height &&
+                    batch.dim(3) == config_.width,
+                "expected [B, " << config_.frames << ", " << config_.height
+                                << ", " << config_.width << "], got "
+                                << batch.shape_string());
+  last_batch_ = batch.dim(0);
+  const std::size_t bt = last_batch_ * config_.frames;
+
+  // Per-frame CNN over the merged batch*time axis.
+  const Tensor frames =
+      batch.reshaped({bt, 1, config_.height, config_.width});
+  const Tensor features = cnn_.forward(frames, training);
+  const Tensor series =
+      features.reshaped({last_batch_, config_.frames, config_.feature_dim});
+  const Tensor hidden = lstm_->forward(series, training);
+  return head_->forward(hidden, training);
+}
+
+void HarModel::backward(const Tensor& grad_logits) {
+  MMHAR_REQUIRE(grad_logits.rank() == 2 && grad_logits.dim(0) == last_batch_,
+                "backward before forward, or batch mismatch");
+  const Tensor grad_hidden = head_->backward(grad_logits);
+  const Tensor grad_series = lstm_->backward(grad_hidden);
+  const Tensor grad_features = grad_series.reshaped(
+      {last_batch_ * config_.frames, config_.feature_dim});
+  cnn_.backward(grad_features);
+}
+
+Tensor HarModel::frame_features(const Tensor& frames) {
+  MMHAR_REQUIRE(frames.rank() == 3 && frames.dim(1) == config_.height &&
+                    frames.dim(2) == config_.width,
+                "frame_features expects [N, H, W], got "
+                    << frames.shape_string());
+  const std::size_t n = frames.dim(0);
+  const Tensor input =
+      frames.reshaped({n, 1, config_.height, config_.width});
+  return cnn_.forward(input, /*training=*/false);
+}
+
+Tensor HarModel::classify_features(const Tensor& features) {
+  MMHAR_REQUIRE(features.rank() == 3 &&
+                    features.dim(2) == config_.feature_dim,
+                "classify_features expects [B, T, F]");
+  const Tensor hidden = lstm_->forward(features, /*training=*/false);
+  return head_->forward(hidden, /*training=*/false);
+}
+
+std::size_t HarModel::predict(const Tensor& sample) {
+  const Tensor logits = forward(
+      sample.reshaped({1, config_.frames, config_.height, config_.width}),
+      /*training=*/false);
+  return logits.argmax();
+}
+
+Tensor HarModel::predict_probabilities(const Tensor& sample) {
+  const Tensor logits = forward(
+      sample.reshaped({1, config_.frames, config_.height, config_.width}),
+      /*training=*/false);
+  Tensor row = logits.reshaped({config_.num_classes});
+  // Softmax.
+  const float mx = row.max();
+  double sum = 0.0;
+  for (auto& v : row.flat()) {
+    v = std::exp(v - mx);
+    sum += v;
+  }
+  row *= static_cast<float>(1.0 / sum);
+  return row;
+}
+
+std::vector<Tensor*> HarModel::parameters() {
+  auto all = cnn_.parameters();
+  for (Tensor* p : lstm_->parameters()) all.push_back(p);
+  for (Tensor* p : head_->parameters()) all.push_back(p);
+  return all;
+}
+
+std::vector<Tensor*> HarModel::gradients() {
+  auto all = cnn_.gradients();
+  for (Tensor* g : lstm_->gradients()) all.push_back(g);
+  for (Tensor* g : head_->gradients()) all.push_back(g);
+  return all;
+}
+
+void HarModel::zero_gradients() {
+  for (Tensor* g : gradients()) g->zero();
+}
+
+std::size_t HarModel::parameter_count() {
+  return nn::parameter_count(parameters());
+}
+
+void HarModel::save(const std::string& path) const {
+  auto os = open_for_write(path);
+  BinaryWriter w(os);
+  w.write_u32(0x4D524148);  // "HARM"
+  const_cast<HarModel*>(this)->cnn_.save(w);
+  lstm_->save(w);
+  head_->save(w);
+}
+
+void HarModel::load(const std::string& path) {
+  auto is = open_for_read(path);
+  BinaryReader r(is);
+  if (r.read_u32() != 0x4D524148) throw IoError("HarModel::load: bad magic");
+  cnn_.load(r);
+  lstm_->load(r);
+  head_->load(r);
+}
+
+}  // namespace mmhar::har

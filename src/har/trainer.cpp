@@ -1,0 +1,133 @@
+#include "har/trainer.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace mmhar::har {
+namespace {
+
+std::vector<std::size_t> range_indices(std::size_t n) {
+  std::vector<std::size_t> idx(n);
+  for (std::size_t i = 0; i < n; ++i) idx[i] = i;
+  return idx;
+}
+
+}  // namespace
+
+TrainHistory train_model(HarModel& model, const Dataset& train,
+                         const TrainConfig& config) {
+  MMHAR_REQUIRE(!train.empty(), "cannot train on an empty dataset");
+  MMHAR_REQUIRE(config.batch_size > 0, "batch size must be positive");
+
+  Rng rng(config.seed);
+  auto indices = range_indices(train.size());
+  rng.shuffle(indices);
+
+  // Optional validation split (stratification not needed: shuffled).
+  std::vector<std::size_t> val_indices;
+  if (config.validation_fraction > 0.0) {
+    const auto n_val = static_cast<std::size_t>(
+        config.validation_fraction * static_cast<double>(indices.size()));
+    val_indices.assign(indices.end() - static_cast<std::ptrdiff_t>(n_val),
+                       indices.end());
+    indices.resize(indices.size() - n_val);
+  }
+  MMHAR_REQUIRE(!indices.empty(), "validation split consumed all samples");
+
+  nn::Adam optimizer(config.learning_rate, 0.9F, 0.999F, 1e-8F,
+                     config.weight_decay);
+  const auto params = model.parameters();
+  const auto grads = model.gradients();
+
+  TrainHistory history;
+  for (std::size_t epoch = 0; epoch < config.epochs; ++epoch) {
+    rng.shuffle(indices);
+    double loss_sum = 0.0;
+    double acc_sum = 0.0;
+    std::size_t batches = 0;
+
+    for (std::size_t start = 0; start < indices.size();
+         start += config.batch_size) {
+      const std::size_t end =
+          std::min(indices.size(), start + config.batch_size);
+      const std::vector<std::size_t> batch_idx(indices.begin() + start,
+                                               indices.begin() + end);
+      const Tensor batch = train.batch_of(batch_idx);
+      const auto labels = train.labels_of(batch_idx);
+
+      model.zero_gradients();
+      const Tensor logits = model.forward(batch, /*training=*/true);
+      const auto loss = nn::softmax_cross_entropy(logits, labels);
+      model.backward(loss.grad_logits);
+      nn::clip_gradient_norm(grads, config.grad_clip);
+      optimizer.step(params, grads);
+
+      loss_sum += loss.loss;
+      acc_sum += nn::accuracy(logits, labels);
+      ++batches;
+    }
+
+    EpochStats stats;
+    stats.loss = static_cast<float>(loss_sum / std::max<std::size_t>(1, batches));
+    stats.accuracy =
+        static_cast<float>(acc_sum / std::max<std::size_t>(1, batches));
+    if (!val_indices.empty()) {
+      const Tensor vb = train.batch_of(val_indices);
+      const auto vl = train.labels_of(val_indices);
+      const Tensor vlogits = model.forward(vb, /*training=*/false);
+      stats.validation_accuracy = nn::accuracy(vlogits, vl);
+    }
+    history.epochs.push_back(stats);
+    if (config.verbose) {
+      MMHAR_LOG(Info) << "epoch " << epoch + 1 << "/" << config.epochs
+                      << " loss=" << stats.loss << " acc=" << stats.accuracy
+                      << " val=" << stats.validation_accuracy;
+    }
+  }
+  return history;
+}
+
+std::vector<std::size_t> predict_all(HarModel& model,
+                                     const Dataset& dataset) {
+  std::vector<std::size_t> preds;
+  preds.reserve(dataset.size());
+  constexpr std::size_t kEvalBatch = 32;
+  for (std::size_t start = 0; start < dataset.size(); start += kEvalBatch) {
+    const std::size_t end = std::min(dataset.size(), start + kEvalBatch);
+    std::vector<std::size_t> idx;
+    for (std::size_t i = start; i < end; ++i) idx.push_back(i);
+    const Tensor logits =
+        model.forward(dataset.batch_of(idx), /*training=*/false);
+    const std::size_t classes = logits.dim(1);
+    for (std::size_t b = 0; b < idx.size(); ++b) {
+      const float* row = logits.data() + b * classes;
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < classes; ++c)
+        if (row[c] > row[best]) best = c;
+      preds.push_back(best);
+    }
+  }
+  return preds;
+}
+
+float evaluate_accuracy(HarModel& model, const Dataset& dataset) {
+  if (dataset.empty()) return 0.0F;
+  const auto preds = predict_all(model, dataset);
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    if (preds[i] == dataset.sample(i).label) ++correct;
+  return static_cast<float>(correct) / static_cast<float>(dataset.size());
+}
+
+ConfusionMatrix evaluate_confusion(HarModel& model, const Dataset& dataset) {
+  ConfusionMatrix cm(dataset.num_classes());
+  const auto preds = predict_all(model, dataset);
+  for (std::size_t i = 0; i < dataset.size(); ++i)
+    cm.add(dataset.sample(i).label, preds[i]);
+  return cm;
+}
+
+}  // namespace mmhar::har

@@ -1,0 +1,48 @@
+// Mini-batch training and evaluation for the HAR model.
+#pragma once
+
+#include "har/dataset.h"
+#include "har/metrics.h"
+#include "har/model.h"
+
+namespace mmhar::har {
+
+struct TrainConfig {
+  std::size_t epochs = 18;
+  std::size_t batch_size = 16;
+  float learning_rate = 1.5e-3F;
+  float weight_decay = 1e-4F;
+  float grad_clip = 5.0F;
+  std::uint64_t seed = 1234;      ///< shuffling seed
+  double validation_fraction = 0.0;  ///< held out from training if > 0
+  bool verbose = false;
+};
+
+struct EpochStats {
+  float loss = 0.0F;
+  float accuracy = 0.0F;
+  float validation_accuracy = 0.0F;  ///< 0 when no validation split
+};
+
+struct TrainHistory {
+  std::vector<EpochStats> epochs;
+  float final_validation_accuracy() const {
+    return epochs.empty() ? 0.0F : epochs.back().validation_accuracy;
+  }
+};
+
+/// Train in place with Adam + gradient clipping. Deterministic given the
+/// config seed and the model's initialization seed.
+TrainHistory train_model(HarModel& model, const Dataset& train,
+                         const TrainConfig& config);
+
+/// Top-1 accuracy over a dataset (batched inference).
+float evaluate_accuracy(HarModel& model, const Dataset& dataset);
+
+/// Full confusion matrix over a dataset.
+ConfusionMatrix evaluate_confusion(HarModel& model, const Dataset& dataset);
+
+/// Predictions for every sample in order.
+std::vector<std::size_t> predict_all(HarModel& model, const Dataset& dataset);
+
+}  // namespace mmhar::har

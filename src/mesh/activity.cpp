@@ -1,0 +1,143 @@
+#include "mesh/activity.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar::mesh {
+
+const char* activity_name(Activity a) {
+  switch (a) {
+    case Activity::Push: return "Push";
+    case Activity::Pull: return "Pull";
+    case Activity::LeftSwipe: return "LeftSwipe";
+    case Activity::RightSwipe: return "RightSwipe";
+    case Activity::Clockwise: return "Clockwise";
+    case Activity::Anticlockwise: return "Anticlockwise";
+  }
+  return "?";
+}
+
+Activity activity_from_index(std::size_t i) {
+  MMHAR_REQUIRE(i < kNumActivities, "activity index " << i << " out of range");
+  return static_cast<Activity>(i);
+}
+
+bool similar_trajectories(Activity a, Activity b) {
+  const auto pair_id = [](Activity x) {
+    switch (x) {
+      case Activity::Push:
+      case Activity::Pull:
+        return 0;
+      case Activity::LeftSwipe:
+      case Activity::RightSwipe:
+        return 1;
+      case Activity::Clockwise:
+      case Activity::Anticlockwise:
+        return 2;
+    }
+    return -1;
+  };
+  return a != b && pair_id(a) == pair_id(b);
+}
+
+std::vector<Vec3> body_sway_offsets(const MotionJitter& jitter,
+                                    std::size_t num_frames,
+                                    double duration_s, Rng& rng) {
+  MMHAR_REQUIRE(num_frames >= 1 && duration_s > 0.0, "bad sway parameters");
+  const double amp =
+      std::max(0.0, jitter.sway_amplitude_m * (1.0 + 0.25 * rng.normal()));
+  const double freq = jitter.sway_freq_hz * (1.0 + 0.1 * rng.normal());
+  const double phase = rng.uniform(0.0, 2.0 * kPi);
+  const double bob_amp = 0.35 * amp;  // small vertical component
+
+  std::vector<Vec3> offsets(num_frames);
+  for (std::size_t f = 0; f < num_frames; ++f) {
+    const double t =
+        duration_s * static_cast<double>(f) / static_cast<double>(num_frames);
+    // Radial (local x) sway dominates; it is what produces Doppler.
+    offsets[f] = Vec3{amp * std::sin(2.0 * kPi * freq * t + phase), 0.0,
+                      bob_amp * std::sin(4.0 * kPi * freq * t + 0.7 * phase)};
+  }
+  return offsets;
+}
+
+ActivityAnimator::ActivityAnimator(const HumanBody& body, MotionJitter jitter)
+    : body_(body), jitter_(jitter) {}
+
+Vec3 ActivityAnimator::gesture_center() const {
+  // In front of the right shoulder, slightly below it — a natural
+  // "ready" position for hand gestures toward the radar.
+  const Vec3 s = body_.right_shoulder();
+  return {s.x - 0.38, s.y + 0.02, s.z - 0.10};
+}
+
+std::vector<Vec3> ActivityAnimator::hand_trajectory(Activity activity,
+                                                    std::size_t num_frames,
+                                                    Rng& rng) const {
+  MMHAR_REQUIRE(num_frames >= 2, "need at least two frames");
+
+  // Per-repetition jitter draws.
+  const double amp_scale = 1.0 + jitter_.amplitude_sigma * rng.normal();
+  const double phase = jitter_.phase_sigma * rng.normal();
+  const Vec3 center = gesture_center() +
+                      Vec3{jitter_.center_sigma * rng.normal(),
+                           jitter_.center_sigma * rng.normal(),
+                           jitter_.center_sigma * rng.normal()};
+
+  // Gesture amplitudes (meters).
+  const double push_amp = 0.26 * amp_scale;   // radial excursion
+  const double swipe_amp = 0.24 * amp_scale;  // lateral excursion
+  const double turn_radius = 0.17 * amp_scale;
+
+  std::vector<Vec3> traj(num_frames);
+  for (std::size_t f = 0; f < num_frames; ++f) {
+    const double t =
+        static_cast<double>(f) / static_cast<double>(num_frames - 1) + phase;
+    Vec3 p = center;
+    switch (activity) {
+      case Activity::Push:
+        // Extend toward the radar (local -x) and return.
+        p.x -= push_amp * std::sin(kPi * t);
+        break;
+      case Activity::Pull:
+        // Start extended, pull in, re-extend — the time-mirror of Push.
+        p.x -= push_amp * (1.0 - std::sin(kPi * t));
+        break;
+      case Activity::LeftSwipe:
+        // Sweep toward the person's left (local -y) and back.
+        p.y -= swipe_amp * std::sin(kPi * t);
+        break;
+      case Activity::RightSwipe:
+        p.y += swipe_amp * std::sin(kPi * t);
+        break;
+      case Activity::Clockwise:
+        // Circle in the frontal (y-z) plane, clockwise as the radar sees it.
+        p.y += turn_radius * std::sin(2.0 * kPi * t);
+        p.z += turn_radius * std::cos(2.0 * kPi * t) - turn_radius;
+        break;
+      case Activity::Anticlockwise:
+        p.y -= turn_radius * std::sin(2.0 * kPi * t);
+        p.z += turn_radius * std::cos(2.0 * kPi * t) - turn_radius;
+        break;
+    }
+    // Per-frame tremor.
+    p += Vec3{jitter_.tremor_sigma * rng.normal(),
+              jitter_.tremor_sigma * rng.normal(),
+              jitter_.tremor_sigma * rng.normal()};
+    traj[f] = p;
+  }
+  return traj;
+}
+
+std::vector<HumanPose> ActivityAnimator::animate(Activity activity,
+                                                 std::size_t num_frames,
+                                                 Rng& rng) const {
+  const auto traj = hand_trajectory(activity, num_frames, rng);
+  std::vector<HumanPose> poses(traj.size());
+  for (std::size_t f = 0; f < traj.size(); ++f)
+    poses[f].right_hand = traj[f];
+  return poses;
+}
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,78 @@
+// The six hand activities of the HAR prototype and their kinematics.
+//
+// Each activity is a 32-frame hand trajectory in the body-local frame
+// (person faces local -x; see human.h). The pairs (Push, Pull) and
+// (LeftSwipe, RightSwipe) are mirrored counterparts — the paper's
+// "similar trajectory" pairs — while the turning gestures are circular.
+// Per-repetition jitter (amplitude/phase/center/tremor) models natural
+// human variation between repetitions and participants.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "mesh/human.h"
+
+namespace mmhar::mesh {
+
+enum class Activity {
+  Push = 0,
+  Pull = 1,
+  LeftSwipe = 2,
+  RightSwipe = 3,
+  Clockwise = 4,
+  Anticlockwise = 5,
+};
+
+inline constexpr std::size_t kNumActivities = 6;
+
+const char* activity_name(Activity a);
+Activity activity_from_index(std::size_t i);
+
+/// Whether two activities form a mirrored ("similar trajectory") pair.
+bool similar_trajectories(Activity a, Activity b);
+
+/// Jitter magnitudes applied per repetition / per frame.
+struct MotionJitter {
+  double amplitude_sigma = 0.06;  ///< relative gesture amplitude spread
+  double center_sigma = 0.02;     ///< meters, gesture center offset
+  double phase_sigma = 0.05;      ///< fraction of a cycle
+  double tremor_sigma = 0.004;    ///< meters, per-frame hand tremor
+  /// Whole-body sway: no human stands RF-static, and this micro-motion is
+  /// what keeps the torso (and a torso-mounted trigger) visible after MTI
+  /// clutter removal.
+  double sway_amplitude_m = 0.012;  ///< radial sway amplitude (mean)
+  double sway_freq_hz = 1.4;        ///< sway frequency
+};
+
+/// Per-frame rigid whole-body offsets modeling postural sway, directed
+/// along the body-local x axis (radial once placed facing the radar).
+std::vector<Vec3> body_sway_offsets(const MotionJitter& jitter,
+                                    std::size_t num_frames,
+                                    double duration_s, Rng& rng);
+
+/// Generates hand trajectories for activities.
+class ActivityAnimator {
+ public:
+  explicit ActivityAnimator(const HumanBody& body,
+                            MotionJitter jitter = MotionJitter{});
+
+  /// Hand target positions (body-local frame) for `num_frames` frames of
+  /// one repetition of `activity`; `rng` drives the repetition jitter.
+  std::vector<Vec3> hand_trajectory(Activity activity, std::size_t num_frames,
+                                    Rng& rng) const;
+
+  /// Full pose sequence (currently just the hand target per frame).
+  std::vector<HumanPose> animate(Activity activity, std::size_t num_frames,
+                                 Rng& rng) const;
+
+ private:
+  Vec3 gesture_center() const;
+
+  const HumanBody& body_;
+  MotionJitter jitter_;
+};
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,79 @@
+// Basic 3-D vector algebra for the mesh and radar modules.
+//
+// Coordinate convention (shared across the library):
+//   * the radar sits at the origin,
+//   * +x is boresight (range direction),
+//   * +y is horizontal to the radar's left (the virtual ULA axis),
+//   * +z is up.
+// Azimuth angle is measured from boresight toward +y.
+#pragma once
+
+#include <cmath>
+
+namespace mmhar::mesh {
+
+struct Vec3 {
+  double x = 0.0;
+  double y = 0.0;
+  double z = 0.0;
+
+  Vec3() = default;
+  Vec3(double x_, double y_, double z_) : x(x_), y(y_), z(z_) {}
+
+  Vec3 operator+(const Vec3& o) const { return {x + o.x, y + o.y, z + o.z}; }
+  Vec3 operator-(const Vec3& o) const { return {x - o.x, y - o.y, z - o.z}; }
+  Vec3 operator*(double s) const { return {x * s, y * s, z * s}; }
+  Vec3 operator/(double s) const { return {x / s, y / s, z / s}; }
+  Vec3& operator+=(const Vec3& o) {
+    x += o.x;
+    y += o.y;
+    z += o.z;
+    return *this;
+  }
+  Vec3& operator-=(const Vec3& o) {
+    x -= o.x;
+    y -= o.y;
+    z -= o.z;
+    return *this;
+  }
+  Vec3 operator-() const { return {-x, -y, -z}; }
+};
+
+inline double dot(const Vec3& a, const Vec3& b) {
+  return a.x * b.x + a.y * b.y + a.z * b.z;
+}
+
+inline Vec3 cross(const Vec3& a, const Vec3& b) {
+  return {a.y * b.z - a.z * b.y, a.z * b.x - a.x * b.z,
+          a.x * b.y - a.y * b.x};
+}
+
+inline double norm(const Vec3& a) { return std::sqrt(dot(a, a)); }
+
+inline double distance(const Vec3& a, const Vec3& b) { return norm(a - b); }
+
+inline Vec3 normalized(const Vec3& a) {
+  const double n = norm(a);
+  return n > 0.0 ? a / n : Vec3{0.0, 0.0, 0.0};
+}
+
+/// Rotate `v` around the z axis by `angle` radians (counterclockwise
+/// looking down −z, i.e. boresight toward +y for positive angles).
+inline Vec3 rotate_z(const Vec3& v, double angle) {
+  const double c = std::cos(angle);
+  const double s = std::sin(angle);
+  return {c * v.x - s * v.y, s * v.x + c * v.y, v.z};
+}
+
+/// Azimuth of a point as seen from the radar origin: atan2(y, x).
+inline double azimuth_of(const Vec3& p) { return std::atan2(p.y, p.x); }
+
+/// Range of a point from the radar origin.
+inline double range_of(const Vec3& p) { return norm(p); }
+
+constexpr double kPi = 3.14159265358979323846;
+
+inline double deg2rad(double deg) { return deg * kPi / 180.0; }
+inline double rad2deg(double rad) { return rad * 180.0 / kPi; }
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,174 @@
+#include "mesh/human.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "mesh/primitives.h"
+
+namespace mmhar::mesh {
+
+BodyParams BodyParams::participant(int id) {
+  BodyParams p;
+  switch (((id % 3) + 3) % 3) {
+    case 0:
+      p.height = 1.82;
+      p.shoulder_half_width = 0.225;
+      p.torso_radius = 0.15;
+      break;
+    case 1:
+      p.height = 1.73;
+      p.shoulder_half_width = 0.21;
+      p.torso_radius = 0.14;
+      break;
+    case 2:
+      p.height = 1.62;
+      p.shoulder_half_width = 0.19;
+      p.torso_radius = 0.13;
+      p.upper_arm_length = 0.27;
+      p.forearm_length = 0.25;
+      break;
+  }
+  return p;
+}
+
+const char* anchor_name(BodyAnchor a) {
+  switch (a) {
+    case BodyAnchor::Chest: return "chest";
+    case BodyAnchor::UpperChestLeft: return "upper_chest_left";
+    case BodyAnchor::UpperChestRight: return "upper_chest_right";
+    case BodyAnchor::Abdomen: return "abdomen";
+    case BodyAnchor::Waist: return "waist";
+    case BodyAnchor::LeftThigh: return "left_thigh";
+    case BodyAnchor::RightThigh: return "right_thigh";
+  }
+  return "?";
+}
+
+std::vector<BodyAnchor> all_anchors() {
+  return {BodyAnchor::Chest,         BodyAnchor::UpperChestLeft,
+          BodyAnchor::UpperChestRight, BodyAnchor::Abdomen,
+          BodyAnchor::Waist,         BodyAnchor::LeftThigh,
+          BodyAnchor::RightThigh};
+}
+
+HumanBody::HumanBody(BodyParams params) : params_(params) {
+  MMHAR_REQUIRE(params_.height > 1.0 && params_.height < 2.5,
+                "implausible body height " << params_.height);
+}
+
+Vec3 HumanBody::right_shoulder() const {
+  return {0.0, -params_.shoulder_half_width, 0.81 * params_.height};
+}
+
+Vec3 HumanBody::rest_hand() const {
+  return {-0.05, -params_.shoulder_half_width - 0.04,
+          0.81 * params_.height - params_.upper_arm_length -
+              params_.forearm_length + 0.05};
+}
+
+TriMesh HumanBody::build(const HumanPose& pose) const {
+  const double h = params_.height;
+  const double hip_z = 0.50 * h;
+  const double shoulder_z = 0.81 * h;
+  const double head_z = 0.93 * h;
+  const Material skin = Material::skin();
+  const Material cloth = Material::clothing();
+
+  TriMesh body;
+
+  // Legs (clothed).
+  const double leg_y = 0.55 * params_.torso_radius;
+  body.merge(make_capsule({0.0, -leg_y, 0.05}, {0.0, -leg_y, hip_z},
+                          params_.leg_radius, cloth, 8, 3));
+  body.merge(make_capsule({0.0, leg_y, 0.05}, {0.0, leg_y, hip_z},
+                          params_.leg_radius, cloth, 8, 3));
+
+  // Torso (clothed) — a vertical capsule from hips to shoulders.
+  body.merge(make_capsule({0.0, 0.0, hip_z}, {0.0, 0.0, shoulder_z},
+                          params_.torso_radius, cloth, 10, 4));
+
+  // Head (skin).
+  body.merge(make_sphere({0.0, 0.0, head_z}, params_.head_radius, skin, 5, 8));
+
+  // Passive (left) arm hangs at the side.
+  const Vec3 l_shoulder{0.0, params_.shoulder_half_width, shoulder_z};
+  const Vec3 l_elbow = l_shoulder + Vec3{0.0, 0.02, -params_.upper_arm_length};
+  const Vec3 l_hand = l_elbow + Vec3{0.0, 0.02, -params_.forearm_length};
+  body.merge(make_capsule(l_shoulder, l_elbow, params_.arm_radius, cloth, 6, 2));
+  body.merge(make_capsule(l_elbow, l_hand, params_.arm_radius, skin, 6, 2));
+
+  // Gesturing (right) arm: two-bone IK toward pose.right_hand.
+  const Vec3 r_shoulder = right_shoulder();
+  Vec3 hand = pose.right_hand;
+  const double reach = params_.upper_arm_length + params_.forearm_length;
+  Vec3 to_hand = hand - r_shoulder;
+  double d = norm(to_hand);
+  if (d > reach - 0.01) {  // clamp to reachable sphere
+    hand = r_shoulder + normalized(to_hand) * (reach - 0.01);
+    to_hand = hand - r_shoulder;
+    d = norm(to_hand);
+  }
+  MMHAR_CHECK(d > 1e-6);
+  const Vec3 mid = (r_shoulder + hand) * 0.5;
+  const double half = 0.5 * d;
+  const double lift2 = params_.upper_arm_length * params_.upper_arm_length -
+                       half * half;
+  const double lift = std::sqrt(std::max(lift2, 1e-4));
+  // Elbow offset direction: perpendicular to the shoulder->hand axis,
+  // biased downward-and-outward like a natural elbow.
+  Vec3 dir = cross(normalized(to_hand), Vec3{1.0, 0.0, 0.0});
+  if (norm(dir) < 1e-6) dir = Vec3{0.0, 0.0, -1.0};
+  dir = normalized(dir);
+  if (dir.z > 0.0) dir = -dir;
+  const Vec3 elbow = mid + dir * lift;
+
+  body.merge(make_capsule(r_shoulder, elbow, params_.arm_radius, cloth, 6, 2));
+  body.merge(make_capsule(elbow, hand, params_.arm_radius, skin, 6, 2));
+  body.merge(make_sphere(hand, params_.hand_radius, skin, 4, 6));
+
+  return body;
+}
+
+Vec3 HumanBody::anchor_position(BodyAnchor a) const {
+  const double h = params_.height;
+  const double front = -params_.torso_radius;  // facing -x
+  switch (a) {
+    case BodyAnchor::Chest:
+      return {front, 0.0, 0.74 * h};
+    case BodyAnchor::UpperChestLeft:
+      return {front, 0.55 * params_.shoulder_half_width, 0.78 * h};
+    case BodyAnchor::UpperChestRight:
+      return {front, -0.55 * params_.shoulder_half_width, 0.78 * h};
+    case BodyAnchor::Abdomen:
+      return {front, 0.0, 0.62 * h};
+    case BodyAnchor::Waist:
+      return {front, 0.0, 0.54 * h};
+    case BodyAnchor::LeftThigh:
+      return {-params_.leg_radius, 0.55 * params_.torso_radius, 0.33 * h};
+    case BodyAnchor::RightThigh:
+      return {-params_.leg_radius, -0.55 * params_.torso_radius, 0.33 * h};
+  }
+  MMHAR_CHECK(false);
+  return {};
+}
+
+Vec3 HumanBody::anchor_normal(BodyAnchor) const {
+  // All catalogued anchors are on the body front, which faces local -x.
+  return {-1.0, 0.0, 0.0};
+}
+
+void place_in_world(TriMesh& mesh, double distance_m, double angle_rad) {
+  mesh.rotate_z_about_origin(angle_rad);
+  mesh.translate({distance_m * std::cos(angle_rad),
+                  distance_m * std::sin(angle_rad), 0.0});
+}
+
+Vec3 place_point_in_world(const Vec3& local, double distance_m,
+                          double angle_rad) {
+  const Vec3 rotated = rotate_z(local, angle_rad);
+  return rotated + Vec3{distance_m * std::cos(angle_rad),
+                        distance_m * std::sin(angle_rad), 0.0};
+}
+
+}  // namespace mmhar::mesh

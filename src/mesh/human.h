@@ -1,0 +1,91 @@
+// Procedural articulated human body.
+//
+// Substitutes the paper's RGBD + GLoT video-to-mesh pipeline: the body is
+// assembled from capsules/spheres (torso, head, legs, two arms) in a
+// body-local frame, with the gesturing right arm posed by a two-bone IK
+// from a hand target. The local frame convention: feet center at the
+// origin, +z up, the person FACES the local -x direction (so after
+// `place_in_world` the chest points at the radar).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mesh/trimesh.h"
+
+namespace mmhar::mesh {
+
+/// Per-participant body dimensions (meters).
+struct BodyParams {
+  double height = 1.75;
+  double shoulder_half_width = 0.21;
+  double torso_radius = 0.14;
+  double head_radius = 0.10;
+  double upper_arm_length = 0.30;
+  double forearm_length = 0.28;
+  double arm_radius = 0.045;
+  double leg_radius = 0.07;
+  double hand_radius = 0.05;
+
+  /// Three participants of different heights (paper §VI-B).
+  static BodyParams participant(int id);
+};
+
+/// Named positions on the body surface where a trigger may be taped.
+/// The paper's optimal positions are on the torso front; `RightThigh`
+/// is the "suboptimal (e.g., on the leg)" ablation location (Table I).
+enum class BodyAnchor {
+  Chest,
+  UpperChestLeft,
+  UpperChestRight,
+  Abdomen,
+  Waist,
+  LeftThigh,
+  RightThigh,
+};
+
+inline constexpr std::size_t kNumAnchors = 7;
+
+const char* anchor_name(BodyAnchor a);
+std::vector<BodyAnchor> all_anchors();
+
+/// Pose: world targets are expressed in the body-local frame.
+struct HumanPose {
+  Vec3 right_hand{-0.35, -0.20, 1.30};  ///< gesturing hand target
+};
+
+class HumanBody {
+ public:
+  explicit HumanBody(BodyParams params);
+
+  const BodyParams& params() const { return params_; }
+
+  /// Assemble the posed body mesh in the body-local frame.
+  TriMesh build(const HumanPose& pose) const;
+
+  /// Surface position of an anchor in the body-local frame.
+  Vec3 anchor_position(BodyAnchor a) const;
+
+  /// Outward surface normal at an anchor (local frame).
+  Vec3 anchor_normal(BodyAnchor a) const;
+
+  /// Shoulder joint of the gesturing (right) arm, local frame.
+  Vec3 right_shoulder() const;
+
+  /// Resting hand position, local frame.
+  Vec3 rest_hand() const;
+
+ private:
+  BodyParams params_;
+};
+
+/// Rigidly place local-frame geometry at a (distance, azimuth) position:
+/// rotates by `angle_rad` about z then translates so the body stands at
+/// range `distance_m` from the radar; the person ends up facing the radar.
+void place_in_world(TriMesh& mesh, double distance_m, double angle_rad);
+
+/// Same transform applied to a single local-frame point.
+Vec3 place_point_in_world(const Vec3& local, double distance_m,
+                          double angle_rad);
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,67 @@
+#include "mesh/obj_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/serialize.h"
+
+namespace mmhar::mesh {
+
+void write_obj(std::ostream& os, const TriMesh& mesh) {
+  os << "# mmhar-backdoor mesh export\n";
+  os << std::setprecision(9);
+  for (const auto& v : mesh.vertices())
+    os << "v " << v.x << ' ' << v.y << ' ' << v.z << '\n';
+  for (const auto& t : mesh.triangles())
+    os << "f " << t.v0 + 1 << ' ' << t.v1 + 1 << ' ' << t.v2 + 1 << '\n';
+  if (!os) throw IoError("write_obj: stream failure");
+}
+
+void save_obj(const std::string& path, const TriMesh& mesh) {
+  std::ofstream os(path);
+  if (!os) throw IoError("save_obj: cannot open " + path);
+  write_obj(os, mesh);
+}
+
+void save_obj_sequence(const std::string& prefix,
+                       const std::vector<TriMesh>& frames) {
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    std::ostringstream name;
+    name << prefix << '_' << std::setw(4) << std::setfill('0') << f
+         << ".obj";
+    save_obj(name.str(), frames[f]);
+  }
+}
+
+TriMesh read_obj(std::istream& is) {
+  TriMesh mesh;
+  std::string line;
+  while (std::getline(is, line)) {
+    std::istringstream ls(line);
+    std::string tag;
+    ls >> tag;
+    if (tag == "v") {
+      Vec3 v;
+      ls >> v.x >> v.y >> v.z;
+      if (ls.fail()) throw IoError("read_obj: malformed vertex: " + line);
+      mesh.add_vertex(v);
+    } else if (tag == "f") {
+      // Accept "f i j k" with optional /texture/normal suffixes.
+      std::size_t idx[3];
+      for (auto& out : idx) {
+        std::string token;
+        ls >> token;
+        if (token.empty()) throw IoError("read_obj: malformed face: " + line);
+        out = static_cast<std::size_t>(
+            std::stoull(token.substr(0, token.find('/'))));
+        MMHAR_REQUIRE(out >= 1, "OBJ faces are 1-indexed");
+      }
+      mesh.add_triangle(idx[0] - 1, idx[1] - 1, idx[2] - 1, Material{});
+    }
+  }
+  return mesh;
+}
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,30 @@
+// Wavefront OBJ export for triangle meshes (debugging/visualization).
+//
+// Meshes and whole animation sequences can be dumped and inspected in any
+// 3-D viewer — the fastest way to sanity-check body poses, trigger
+// placement, and world placement.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "mesh/trimesh.h"
+
+namespace mmhar::mesh {
+
+/// Write one mesh in OBJ format (vertices + faces, 1-indexed).
+void write_obj(std::ostream& os, const TriMesh& mesh);
+
+/// Write a mesh to a file; throws IoError on failure.
+void save_obj(const std::string& path, const TriMesh& mesh);
+
+/// Write an animation as numbered files `<prefix>_0000.obj`, ...
+void save_obj_sequence(const std::string& prefix,
+                       const std::vector<TriMesh>& frames);
+
+/// Parse an OBJ stream back (vertices + triangular faces only; materials
+/// are not round-tripped). Used by tests to verify the writer.
+TriMesh read_obj(std::istream& is);
+
+}  // namespace mmhar::mesh

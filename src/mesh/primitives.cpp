@@ -1,0 +1,155 @@
+#include "mesh/primitives.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar::mesh {
+namespace {
+
+/// Build an orthonormal frame (u, v) perpendicular to unit vector w.
+void make_frame(const Vec3& w, Vec3& u, Vec3& v) {
+  const Vec3 helper = std::abs(w.z) < 0.9 ? Vec3{0.0, 0.0, 1.0}
+                                          : Vec3{1.0, 0.0, 0.0};
+  u = normalized(cross(helper, w));
+  v = cross(w, u);
+}
+
+}  // namespace
+
+TriMesh make_sphere(const Vec3& center, double radius, const Material& mat,
+                    std::size_t rings, std::size_t segments) {
+  MMHAR_REQUIRE(rings >= 2 && segments >= 3, "sphere tessellation too coarse");
+  TriMesh m;
+  // Vertex grid: (rings+1) latitude rows x segments longitudes.
+  for (std::size_t i = 0; i <= rings; ++i) {
+    const double phi = kPi * static_cast<double>(i) / rings;  // 0..pi
+    for (std::size_t j = 0; j < segments; ++j) {
+      const double theta = 2.0 * kPi * static_cast<double>(j) / segments;
+      m.add_vertex(center + Vec3{radius * std::sin(phi) * std::cos(theta),
+                                 radius * std::sin(phi) * std::sin(theta),
+                                 radius * std::cos(phi)});
+    }
+  }
+  const auto idx = [segments](std::size_t i, std::size_t j) {
+    return i * segments + (j % segments);
+  };
+  for (std::size_t i = 0; i < rings; ++i) {
+    for (std::size_t j = 0; j < segments; ++j) {
+      // Skip the degenerate half of the quad at each pole (all first-row
+      // and last-row vertices coincide at the poles).
+      if (i + 1 < rings)  // two bottom-pole vertices otherwise
+        m.add_triangle(idx(i, j), idx(i + 1, j), idx(i + 1, j + 1), mat);
+      if (i > 0)  // two top-pole vertices otherwise
+        m.add_triangle(idx(i, j), idx(i + 1, j + 1), idx(i, j + 1), mat);
+    }
+  }
+  return m;
+}
+
+TriMesh make_capsule(const Vec3& a, const Vec3& b, double radius,
+                     const Material& mat, std::size_t segments,
+                     std::size_t stacks) {
+  MMHAR_REQUIRE(segments >= 3 && stacks >= 1, "capsule tessellation too coarse");
+  const Vec3 axis = b - a;
+  const double len = norm(axis);
+  MMHAR_REQUIRE(len > 1e-9, "degenerate capsule axis");
+  const Vec3 w = axis / len;
+  Vec3 u;
+  Vec3 v;
+  make_frame(w, u, v);
+
+  TriMesh m;
+  // Cylinder body rings.
+  for (std::size_t i = 0; i <= stacks; ++i) {
+    const double t = static_cast<double>(i) / stacks;
+    const Vec3 c = a + w * (len * t);
+    for (std::size_t j = 0; j < segments; ++j) {
+      const double theta = 2.0 * kPi * static_cast<double>(j) / segments;
+      m.add_vertex(c + (u * std::cos(theta) + v * std::sin(theta)) * radius);
+    }
+  }
+  const auto idx = [segments](std::size_t i, std::size_t j) {
+    return i * segments + (j % segments);
+  };
+  for (std::size_t i = 0; i < stacks; ++i) {
+    for (std::size_t j = 0; j < segments; ++j) {
+      m.add_triangle(idx(i, j), idx(i, j + 1), idx(i + 1, j + 1), mat);
+      m.add_triangle(idx(i, j), idx(i + 1, j + 1), idx(i + 1, j), mat);
+    }
+  }
+  // Hemispherical caps approximated by a single apex fan (adequate for
+  // the radar's resolution and keeps triangle counts low).
+  const std::size_t apex_a = m.add_vertex(a - w * radius);
+  const std::size_t apex_b = m.add_vertex(b + w * radius);
+  for (std::size_t j = 0; j < segments; ++j) {
+    m.add_triangle(apex_a, idx(0, j + 1), idx(0, j), mat);
+    m.add_triangle(apex_b, idx(stacks, j), idx(stacks, j + 1), mat);
+  }
+  return m;
+}
+
+TriMesh make_box(const Vec3& lo, const Vec3& hi, const Material& mat) {
+  MMHAR_REQUIRE(lo.x < hi.x && lo.y < hi.y && lo.z < hi.z,
+                "box bounds out of order");
+  TriMesh m;
+  const Vec3 corners[8] = {
+      {lo.x, lo.y, lo.z}, {hi.x, lo.y, lo.z}, {hi.x, hi.y, lo.z},
+      {lo.x, hi.y, lo.z}, {lo.x, lo.y, hi.z}, {hi.x, lo.y, hi.z},
+      {hi.x, hi.y, hi.z}, {lo.x, hi.y, hi.z}};
+  for (const auto& c : corners) m.add_vertex(c);
+  // Each face wound so the normal points outward.
+  const std::size_t faces[6][4] = {
+      {0, 3, 2, 1},   // bottom (-z)
+      {4, 5, 6, 7},   // top (+z)
+      {0, 1, 5, 4},   // -y
+      {2, 3, 7, 6},   // +y
+      {0, 4, 7, 3},   // -x
+      {1, 2, 6, 5}};  // +x
+  for (const auto& f : faces) {
+    m.add_triangle(f[0], f[1], f[2], mat);
+    m.add_triangle(f[0], f[2], f[3], mat);
+  }
+  return m;
+}
+
+TriMesh make_plate(const Vec3& center, const Vec3& normal,
+                   const Vec3& up_hint, double width, double height,
+                   const Material& mat, std::size_t div) {
+  MMHAR_REQUIRE(div >= 1, "plate needs at least one cell");
+  const Vec3 n = normalized(normal);
+  Vec3 right = cross(up_hint, n);
+  if (norm(right) < 1e-9) right = cross(Vec3{1.0, 0.0, 0.0}, n);
+  right = normalized(right);
+  const Vec3 up = normalized(cross(n, right));
+
+  TriMesh m;
+  for (std::size_t i = 0; i <= div; ++i) {
+    for (std::size_t j = 0; j <= div; ++j) {
+      const double s = static_cast<double>(i) / div - 0.5;
+      const double t = static_cast<double>(j) / div - 0.5;
+      m.add_vertex(center + right * (s * width) + up * (t * height));
+    }
+  }
+  const auto idx = [div](std::size_t i, std::size_t j) {
+    return i * (div + 1) + j;
+  };
+  for (std::size_t i = 0; i < div; ++i) {
+    for (std::size_t j = 0; j < div; ++j) {
+      // Wind so the triangle normal aligns with `n`.
+      m.add_triangle(idx(i, j), idx(i + 1, j), idx(i + 1, j + 1), mat);
+      m.add_triangle(idx(i, j), idx(i + 1, j + 1), idx(i, j + 1), mat);
+    }
+  }
+  // Validate winding: flip if needed.
+  if (m.num_triangles() > 0 && dot(m.triangle_normal(0), n) < 0.0) {
+    TriMesh flipped;
+    for (const auto& v : m.vertices()) flipped.add_vertex(v);
+    for (const auto& t : m.triangles())
+      flipped.add_triangle(t.v0, t.v2, t.v1, t.material);
+    return flipped;
+  }
+  return m;
+}
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,29 @@
+// Parametric primitive tessellators used to assemble bodies and rooms.
+#pragma once
+
+#include <cstddef>
+
+#include "mesh/trimesh.h"
+
+namespace mmhar::mesh {
+
+/// UV-sphere centered at `center`.
+TriMesh make_sphere(const Vec3& center, double radius, const Material& mat,
+                    std::size_t rings = 6, std::size_t segments = 8);
+
+/// Capsule (cylinder with hemispherical caps) from `a` to `b`.
+TriMesh make_capsule(const Vec3& a, const Vec3& b, double radius,
+                     const Material& mat, std::size_t segments = 8,
+                     std::size_t stacks = 4);
+
+/// Axis-aligned box spanning [lo, hi].
+TriMesh make_box(const Vec3& lo, const Vec3& hi, const Material& mat);
+
+/// Flat rectangular plate centered at `center` with outward normal
+/// `normal`; `up_hint` orients the plate's vertical edge. Tessellated into
+/// `div x div` cells so the RF simulator sees multiple scatterers.
+TriMesh make_plate(const Vec3& center, const Vec3& normal,
+                   const Vec3& up_hint, double width, double height,
+                   const Material& mat, std::size_t div = 2);
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,30 @@
+#include "mesh/trigger.h"
+
+#include "common/check.h"
+#include "mesh/primitives.h"
+
+namespace mmhar::mesh {
+
+TriggerSpec TriggerSpec::aluminum_2x2() { return TriggerSpec{}; }
+
+TriggerSpec TriggerSpec::aluminum_4x4() {
+  TriggerSpec spec;
+  spec.width_m = 0.1016;
+  spec.height_m = 0.1016;
+  return spec;
+}
+
+void attach_trigger(TriMesh& body, const Vec3& position, const Vec3& normal,
+                    const TriggerSpec& spec) {
+  MMHAR_REQUIRE(spec.width_m > 0.0 && spec.height_m > 0.0,
+                "trigger must have positive extent");
+  const Vec3 n = normalized(normal);
+  MMHAR_REQUIRE(norm(n) > 0.5, "trigger normal must be nonzero");
+  Material mat;
+  mat.reflectivity = spec.effective_reflectivity();
+  const Vec3 center = position + n * spec.standoff_m;
+  body.merge(make_plate(center, n, Vec3{0.0, 0.0, 1.0}, spec.width_m,
+                        spec.height_m, mat, spec.tessellation));
+}
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,46 @@
+// Physical trigger model: a passive metal reflector patch on the body.
+//
+// The paper's triggers are 2x2 in and 4x4 in aluminum sheets (1/32 in
+// thick) taped to the attacker, optionally hidden under clothing. Here a
+// trigger is a tessellated metal plate merged into the body mesh at a
+// body-local position, oriented along the local surface normal, standing
+// off the surface by a few millimeters (tape thickness). Clothing is
+// modeled as a mild amplitude attenuation — mmWave passes through fabric
+// nearly unattenuated (§VI-G), which is exactly what makes the attack
+// stealthy.
+#pragma once
+
+#include "mesh/trimesh.h"
+
+namespace mmhar::mesh {
+
+struct TriggerSpec {
+  double width_m = 0.0508;   ///< 2 inches
+  double height_m = 0.0508;  ///< 2 inches
+  /// Specular flat-plate return: a tape-flat aluminum sheet facing the
+  /// radar reflects 20-30 dB above skin; modeled as a large A_m.
+  float reflectivity = 16.0F;
+  bool under_clothing = false;
+  /// One-way field attenuation through the covering fabric (~0.97 two-way
+  /// amplitude for typical clothing at 77 GHz).
+  float clothing_attenuation = 0.97F;
+  std::size_t tessellation = 2;  ///< plate subdivided div x div
+  double standoff_m = 0.004;     ///< tape + sheet thickness
+
+  static TriggerSpec aluminum_2x2();
+  static TriggerSpec aluminum_4x4();
+
+  /// Effective reflectivity including clothing attenuation if hidden.
+  float effective_reflectivity() const {
+    return under_clothing
+               ? reflectivity * clothing_attenuation * clothing_attenuation
+               : reflectivity;
+  }
+};
+
+/// Merge a trigger plate into `body` (body-local frame) at `position`
+/// with outward `normal`.
+void attach_trigger(TriMesh& body, const Vec3& position, const Vec3& normal,
+                    const TriggerSpec& spec);
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,108 @@
+#include "mesh/trimesh.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mmhar::mesh {
+
+std::size_t TriMesh::add_vertex(const Vec3& v) {
+  vertices_.push_back(v);
+  return vertices_.size() - 1;
+}
+
+void TriMesh::add_triangle(std::size_t v0, std::size_t v1, std::size_t v2,
+                           const Material& material) {
+  MMHAR_REQUIRE(v0 < vertices_.size() && v1 < vertices_.size() &&
+                    v2 < vertices_.size(),
+                "triangle vertex index out of range");
+  triangles_.push_back(Triangle{v0, v1, v2, material});
+}
+
+void TriMesh::merge(const TriMesh& other) {
+  const std::size_t base = vertices_.size();
+  vertices_.insert(vertices_.end(), other.vertices_.begin(),
+                   other.vertices_.end());
+  triangles_.reserve(triangles_.size() + other.triangles_.size());
+  for (const auto& t : other.triangles_) {
+    triangles_.push_back(
+        Triangle{t.v0 + base, t.v1 + base, t.v2 + base, t.material});
+  }
+}
+
+void TriMesh::translate(const Vec3& offset) {
+  for (auto& v : vertices_) v += offset;
+}
+
+void TriMesh::rotate_z_about_origin(double angle) {
+  for (auto& v : vertices_) v = rotate_z(v, angle);
+}
+
+void TriMesh::scale_about(const Vec3& center, double factor) {
+  for (auto& v : vertices_) v = center + (v - center) * factor;
+}
+
+Vec3 TriMesh::triangle_centroid(std::size_t t) const {
+  MMHAR_CHECK(t < triangles_.size());
+  const Triangle& tri = triangles_[t];
+  return (vertices_[tri.v0] + vertices_[tri.v1] + vertices_[tri.v2]) / 3.0;
+}
+
+Vec3 TriMesh::triangle_normal(std::size_t t) const {
+  MMHAR_CHECK(t < triangles_.size());
+  const Triangle& tri = triangles_[t];
+  const Vec3 e1 = vertices_[tri.v1] - vertices_[tri.v0];
+  const Vec3 e2 = vertices_[tri.v2] - vertices_[tri.v0];
+  return normalized(cross(e1, e2));
+}
+
+double TriMesh::triangle_area(std::size_t t) const {
+  MMHAR_CHECK(t < triangles_.size());
+  const Triangle& tri = triangles_[t];
+  const Vec3 e1 = vertices_[tri.v1] - vertices_[tri.v0];
+  const Vec3 e2 = vertices_[tri.v2] - vertices_[tri.v0];
+  return 0.5 * norm(cross(e1, e2));
+}
+
+const Material& TriMesh::triangle_material(std::size_t t) const {
+  MMHAR_CHECK(t < triangles_.size());
+  return triangles_[t].material;
+}
+
+Vec3 TriMesh::bounds_min() const {
+  MMHAR_CHECK(!vertices_.empty());
+  Vec3 lo = vertices_[0];
+  for (const auto& v : vertices_) {
+    lo.x = std::min(lo.x, v.x);
+    lo.y = std::min(lo.y, v.y);
+    lo.z = std::min(lo.z, v.z);
+  }
+  return lo;
+}
+
+Vec3 TriMesh::bounds_max() const {
+  MMHAR_CHECK(!vertices_.empty());
+  Vec3 hi = vertices_[0];
+  for (const auto& v : vertices_) {
+    hi.x = std::max(hi.x, v.x);
+    hi.y = std::max(hi.y, v.y);
+    hi.z = std::max(hi.z, v.z);
+  }
+  return hi;
+}
+
+Vec3 TriMesh::vertex_centroid() const {
+  MMHAR_CHECK(!vertices_.empty());
+  Vec3 acc{0.0, 0.0, 0.0};
+  for (const auto& v : vertices_) acc += v;
+  return acc / static_cast<double>(vertices_.size());
+}
+
+double TriMesh::total_area() const {
+  double acc = 0.0;
+  for (std::size_t t = 0; t < triangles_.size(); ++t)
+    acc += triangle_area(t);
+  return acc;
+}
+
+}  // namespace mmhar::mesh

@@ -1,0 +1,82 @@
+// Triangle mesh with per-triangle material, the unit of geometry consumed
+// by the RF simulator (each triangle is one reflective surface in Eq. 3).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/geometry.h"
+
+namespace mmhar::mesh {
+
+/// Radar-relevant surface material. `reflectivity` is the A_m factor of
+/// Eq. 3 (relative amplitude of the reflected field); metals are strong
+/// specular reflectors, skin/clothing weak diffuse ones.
+struct Material {
+  float reflectivity = 1.0F;
+
+  static Material skin() { return Material{0.35F}; }
+  static Material clothing() { return Material{0.20F}; }
+  static Material aluminum() { return Material{6.0F}; }
+  static Material wood() { return Material{0.25F}; }
+  static Material drywall() { return Material{0.30F}; }
+};
+
+struct Triangle {
+  std::size_t v0 = 0;
+  std::size_t v1 = 0;
+  std::size_t v2 = 0;
+  Material material;
+};
+
+class TriMesh {
+ public:
+  std::size_t num_vertices() const { return vertices_.size(); }
+  std::size_t num_triangles() const { return triangles_.size(); }
+
+  const std::vector<Vec3>& vertices() const { return vertices_; }
+  std::vector<Vec3>& vertices() { return vertices_; }
+  const std::vector<Triangle>& triangles() const { return triangles_; }
+
+  /// Append a vertex, returning its index.
+  std::size_t add_vertex(const Vec3& v);
+
+  /// Append a triangle over existing vertex indices.
+  void add_triangle(std::size_t v0, std::size_t v1, std::size_t v2,
+                    const Material& material);
+
+  /// Append all geometry from `other` (indices remapped).
+  void merge(const TriMesh& other);
+
+  /// Translate every vertex.
+  void translate(const Vec3& offset);
+
+  /// Rotate every vertex around the z axis about the origin.
+  void rotate_z_about_origin(double angle);
+
+  /// Uniformly scale about a center point.
+  void scale_about(const Vec3& center, double factor);
+
+  // ---- Per-triangle derived quantities ----
+  Vec3 triangle_centroid(std::size_t t) const;
+  /// Unit normal following the v0->v1->v2 winding (right-hand rule).
+  Vec3 triangle_normal(std::size_t t) const;
+  double triangle_area(std::size_t t) const;
+  const Material& triangle_material(std::size_t t) const;
+
+  /// Axis-aligned bounds (undefined for empty mesh).
+  Vec3 bounds_min() const;
+  Vec3 bounds_max() const;
+
+  /// Centroid of all vertices.
+  Vec3 vertex_centroid() const;
+
+  /// Total surface area.
+  double total_area() const;
+
+ private:
+  std::vector<Vec3> vertices_;
+  std::vector<Triangle> triangles_;
+};
+
+}  // namespace mmhar::mesh

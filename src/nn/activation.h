@@ -1,0 +1,45 @@
+// Stateless activation layers and dropout.
+#pragma once
+
+#include "nn/layer.h"
+
+namespace mmhar::nn {
+
+class ReLU : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "ReLU"; }
+
+ private:
+  Tensor mask_;  // 1 where input > 0
+};
+
+class Tanh : public Layer {
+ public:
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Tanh"; }
+
+ private:
+  Tensor output_;
+};
+
+/// Inverted dropout: activations scaled by 1/(1-p) at training time so
+/// inference is a plain identity.
+class Dropout : public Layer {
+ public:
+  Dropout(double p, Rng& rng);
+
+  Tensor forward(const Tensor& input, bool training) override;
+  Tensor backward(const Tensor& grad_output) override;
+  std::string name() const override { return "Dropout"; }
+
+ private:
+  double p_;
+  Rng rng_;
+  Tensor mask_;
+  bool last_training_ = false;
+};
+
+}  // namespace mmhar::nn

@@ -1,0 +1,108 @@
+#include "nn/gradcheck.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace mmhar::nn {
+namespace {
+
+void update_errors(GradCheckResult& r, float analytic, float numeric) {
+  const float abs_err = std::abs(analytic - numeric);
+  const float denom =
+      std::max({std::abs(analytic), std::abs(numeric), 1e-4F});
+  r.max_absolute_error = std::max(r.max_absolute_error, abs_err);
+  r.max_relative_error = std::max(r.max_relative_error, abs_err / denom);
+  ++r.checked;
+}
+
+std::size_t probe_stride(std::size_t size, std::size_t probes) {
+  if (probes == 0 || probes >= size) return 1;
+  return std::max<std::size_t>(1, size / probes);
+}
+
+}  // namespace
+
+GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
+                                      Rng& rng, float epsilon,
+                                      std::size_t probes) {
+  // Scalar loss L = sum(output .* seed) with a fixed random seed tensor,
+  // so dL/dOutput = seed.
+  Tensor probe_input = input;
+  Tensor out = layer.forward(probe_input, /*training=*/false);
+  const Tensor seed = Tensor::randn(out.shape(), rng, 0.0F, 1.0F);
+
+  const auto loss_of = [&](const Tensor& x) {
+    const Tensor y = layer.forward(const_cast<Tensor&>(x), false);
+    double acc = 0.0;
+    for (std::size_t i = 0; i < y.size(); ++i)
+      acc += static_cast<double>(y[i]) * seed[i];
+    return static_cast<float>(acc);
+  };
+
+  // Analytic pass.
+  layer.zero_gradients();
+  layer.forward(probe_input, false);
+  const Tensor grad_input = layer.backward(seed);
+
+  // Snapshot analytic parameter gradients (later forwards may not
+  // invalidate them, but be safe).
+  std::vector<Tensor> param_grads;
+  for (Tensor* g : layer.gradients()) param_grads.push_back(*g);
+
+  GradCheckResult result;
+
+  // Input gradient check.
+  {
+    Tensor x = input;
+    const std::size_t stride = probe_stride(x.size(), probes);
+    for (std::size_t i = 0; i < x.size(); i += stride) {
+      const float orig = x[i];
+      x[i] = orig + epsilon;
+      const float lp = loss_of(x);
+      x[i] = orig - epsilon;
+      const float lm = loss_of(x);
+      x[i] = orig;
+      update_errors(result, grad_input[i], (lp - lm) / (2.0F * epsilon));
+    }
+  }
+
+  // Parameter gradient checks.
+  const auto params = layer.parameters();
+  for (std::size_t pi = 0; pi < params.size(); ++pi) {
+    Tensor& p = *params[pi];
+    const std::size_t stride = probe_stride(p.size(), probes);
+    for (std::size_t i = 0; i < p.size(); i += stride) {
+      const float orig = p[i];
+      p[i] = orig + epsilon;
+      const float lp = loss_of(input);
+      p[i] = orig - epsilon;
+      const float lm = loss_of(input);
+      p[i] = orig;
+      update_errors(result, param_grads[pi][i],
+                    (lp - lm) / (2.0F * epsilon));
+    }
+  }
+  return result;
+}
+
+GradCheckResult check_function_gradient(
+    const std::function<float(const Tensor&)>& fn, const Tensor& at,
+    const Tensor& analytic_grad, float epsilon, std::size_t probes) {
+  MMHAR_REQUIRE(at.same_shape(analytic_grad),
+                "gradient shape must match input shape");
+  GradCheckResult result;
+  Tensor x = at;
+  const std::size_t stride = probe_stride(x.size(), probes);
+  for (std::size_t i = 0; i < x.size(); i += stride) {
+    const float orig = x[i];
+    x[i] = orig + epsilon;
+    const float lp = fn(x);
+    x[i] = orig - epsilon;
+    const float lm = fn(x);
+    x[i] = orig;
+    update_errors(result, analytic_grad[i], (lp - lm) / (2.0F * epsilon));
+  }
+  return result;
+}
+
+}  // namespace mmhar::nn

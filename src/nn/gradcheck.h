@@ -1,0 +1,32 @@
+// Numerical gradient checking used by the test suite.
+#pragma once
+
+#include <functional>
+
+#include "nn/layer.h"
+
+namespace mmhar::nn {
+
+struct GradCheckResult {
+  float max_relative_error = 0.0F;
+  float max_absolute_error = 0.0F;
+  std::size_t checked = 0;
+};
+
+/// Compare a layer's analytic input- and parameter-gradients against
+/// central finite differences of the scalar loss sum(output * seed).
+///
+/// `probes` limits how many coordinates per tensor are perturbed (spread
+/// evenly); 0 means all.
+GradCheckResult check_layer_gradients(Layer& layer, const Tensor& input,
+                                      Rng& rng, float epsilon = 1e-3F,
+                                      std::size_t probes = 0);
+
+/// Gradient-check an arbitrary scalar function of a tensor against an
+/// analytic gradient supplied by the caller.
+GradCheckResult check_function_gradient(
+    const std::function<float(const Tensor&)>& fn, const Tensor& at,
+    const Tensor& analytic_grad, float epsilon = 1e-3F,
+    std::size_t probes = 0);
+
+}  // namespace mmhar::nn

@@ -1,0 +1,52 @@
+#include "nn/loss.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "tensor/ops.h"
+
+namespace mmhar::nn {
+
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels) {
+  MMHAR_REQUIRE(logits.rank() == 2, "expected [B, C] logits");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  MMHAR_REQUIRE(labels.size() == batch, "labels/batch mismatch");
+
+  LossResult result;
+  result.probabilities = softmax_rows(logits);
+  result.grad_logits = result.probabilities;
+
+  double loss = 0.0;
+  const float inv_b = 1.0F / static_cast<float>(batch);
+  for (std::size_t b = 0; b < batch; ++b) {
+    const std::size_t y = labels[b];
+    MMHAR_REQUIRE(y < classes, "label " << y << " out of range");
+    const float p = result.probabilities.at(b, y);
+    loss -= std::log(std::max(p, 1e-12F));
+    result.grad_logits.at(b, y) -= 1.0F;
+  }
+  result.grad_logits *= inv_b;
+  result.loss = static_cast<float>(loss / batch);
+  return result;
+}
+
+float accuracy(const Tensor& logits, const std::vector<std::size_t>& labels) {
+  MMHAR_REQUIRE(logits.rank() == 2 && logits.dim(0) == labels.size(),
+                "accuracy shape mismatch");
+  const std::size_t batch = logits.dim(0);
+  const std::size_t classes = logits.dim(1);
+  std::size_t correct = 0;
+  for (std::size_t b = 0; b < batch; ++b) {
+    const float* row = logits.data() + b * classes;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < classes; ++c)
+      if (row[c] > row[best]) best = c;
+    if (best == labels[b]) ++correct;
+  }
+  return batch == 0 ? 0.0F
+                    : static_cast<float>(correct) / static_cast<float>(batch);
+}
+
+}  // namespace mmhar::nn

@@ -1,0 +1,24 @@
+// Softmax cross-entropy loss.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mmhar::nn {
+
+struct LossResult {
+  float loss = 0.0F;     ///< mean cross-entropy over the batch
+  Tensor grad_logits;    ///< dLoss/dLogits, [B, C]
+  Tensor probabilities;  ///< softmax outputs, [B, C]
+};
+
+/// Mean softmax cross-entropy over logits [B, C] and integer labels.
+LossResult softmax_cross_entropy(const Tensor& logits,
+                                 const std::vector<std::size_t>& labels);
+
+/// Fraction of rows whose argmax equals the label.
+float accuracy(const Tensor& logits, const std::vector<std::size_t>& labels);
+
+}  // namespace mmhar::nn

@@ -1,0 +1,187 @@
+#include "nn/lstm.h"
+
+#include <cmath>
+
+#include "tensor/gemm.h"
+
+namespace mmhar::nn {
+namespace {
+
+float sigmoidf(float x) { return 1.0F / (1.0F + std::exp(-x)); }
+
+}  // namespace
+
+LSTM::LSTM(std::size_t input_dim, std::size_t hidden_dim, Rng& rng,
+           bool return_sequence)
+    : input_dim_(input_dim),
+      hidden_dim_(hidden_dim),
+      return_sequence_(return_sequence) {
+  MMHAR_REQUIRE(input_dim > 0 && hidden_dim > 0, "LSTM dims must be positive");
+  const float lim_x =
+      std::sqrt(6.0F / static_cast<float>(input_dim + hidden_dim));
+  const float lim_h = std::sqrt(6.0F / static_cast<float>(2 * hidden_dim));
+  w_x_ = Tensor::rand_uniform({4 * hidden_dim, input_dim}, rng, -lim_x, lim_x);
+  w_h_ = Tensor::rand_uniform({4 * hidden_dim, hidden_dim}, rng, -lim_h,
+                              lim_h);
+  bias_ = Tensor({4 * hidden_dim});
+  // Forget-gate bias = 1.
+  for (std::size_t i = hidden_dim; i < 2 * hidden_dim; ++i) bias_[i] = 1.0F;
+  grad_w_x_ = Tensor({4 * hidden_dim, input_dim});
+  grad_w_h_ = Tensor({4 * hidden_dim, hidden_dim});
+  grad_bias_ = Tensor({4 * hidden_dim});
+}
+
+Tensor LSTM::forward(const Tensor& input, bool /*training*/) {
+  MMHAR_REQUIRE(input.rank() == 3 && input.dim(2) == input_dim_,
+                "LSTM expects [B, T, " << input_dim_ << "], got "
+                                       << input.shape_string());
+  input_ = input;
+  const std::size_t batch = input.dim(0);
+  const std::size_t steps = input.dim(1);
+  const std::size_t h_dim = hidden_dim_;
+  const std::size_t g4 = 4 * h_dim;
+
+  gates_.assign(steps, Tensor({batch, g4}));
+  cells_.assign(steps, Tensor({batch, h_dim}));
+  hiddens_.assign(steps, Tensor({batch, h_dim}));
+
+  Tensor h_prev({batch, h_dim});
+  Tensor c_prev({batch, h_dim});
+
+  for (std::size_t t = 0; t < steps; ++t) {
+    Tensor& z = gates_[t];
+    // z = x_t W_x^T + h_{t-1} W_h^T + b
+    const float* x_t = input.data() + t * input_dim_;
+    // Gather x_t rows (strided by T*D per batch element) into a buffer.
+    Tensor x_step({batch, input_dim_});
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* src = x_t + b * steps * input_dim_;
+      std::copy(src, src + input_dim_, x_step.data() + b * input_dim_);
+    }
+    sgemm_bt(batch, input_dim_, g4, 1.0F, x_step.data(), w_x_.data(), 0.0F,
+             z.data());
+    sgemm_bt(batch, h_dim, g4, 1.0F, h_prev.data(), w_h_.data(), 1.0F,
+             z.data());
+    for (std::size_t b = 0; b < batch; ++b) {
+      float* zr = z.data() + b * g4;
+      for (std::size_t j = 0; j < g4; ++j) zr[j] += bias_[j];
+    }
+    // Nonlinearities and state update.
+    Tensor& c = cells_[t];
+    Tensor& h = hiddens_[t];
+    for (std::size_t b = 0; b < batch; ++b) {
+      float* zr = z.data() + b * g4;
+      const float* cp = c_prev.data() + b * h_dim;
+      float* cr = c.data() + b * h_dim;
+      float* hr = h.data() + b * h_dim;
+      for (std::size_t j = 0; j < h_dim; ++j) {
+        const float ig = sigmoidf(zr[j]);
+        const float fg = sigmoidf(zr[h_dim + j]);
+        const float gg = std::tanh(zr[2 * h_dim + j]);
+        const float og = sigmoidf(zr[3 * h_dim + j]);
+        zr[j] = ig;
+        zr[h_dim + j] = fg;
+        zr[2 * h_dim + j] = gg;
+        zr[3 * h_dim + j] = og;
+        cr[j] = fg * cp[j] + ig * gg;
+        hr[j] = og * std::tanh(cr[j]);
+      }
+    }
+    h_prev = h;
+    c_prev = c;
+  }
+
+  if (!return_sequence_) return hiddens_.back();
+  Tensor out({batch, steps, h_dim});
+  for (std::size_t t = 0; t < steps; ++t)
+    for (std::size_t b = 0; b < batch; ++b)
+      std::copy(hiddens_[t].data() + b * h_dim,
+                hiddens_[t].data() + (b + 1) * h_dim,
+                out.data() + (b * steps + t) * h_dim);
+  return out;
+}
+
+Tensor LSTM::backward(const Tensor& grad_output) {
+  const std::size_t batch = input_.dim(0);
+  const std::size_t steps = input_.dim(1);
+  const std::size_t h_dim = hidden_dim_;
+  const std::size_t g4 = 4 * h_dim;
+
+  Tensor grad_input({batch, steps, input_dim_});
+  Tensor dh({batch, h_dim});
+  Tensor dc({batch, h_dim});
+
+  // Seed dh (and per-step additions for sequence outputs).
+  const auto grad_h_at = [&](std::size_t t, std::size_t b,
+                             std::size_t j) -> float {
+    if (return_sequence_)
+      return grad_output[(b * steps + t) * h_dim + j];
+    return t == steps - 1 ? grad_output[b * h_dim + j] : 0.0F;
+  };
+
+  Tensor dz({batch, g4});
+  Tensor x_step({batch, input_dim_});
+  Tensor dx_step({batch, input_dim_});
+
+  for (std::size_t t = steps; t-- > 0;) {
+    const Tensor& z = gates_[t];
+    const Tensor& c = cells_[t];
+    const Tensor* c_prev = t > 0 ? &cells_[t - 1] : nullptr;
+    const Tensor* h_prev = t > 0 ? &hiddens_[t - 1] : nullptr;
+
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* zr = z.data() + b * g4;
+      const float* cr = c.data() + b * h_dim;
+      float* dhr = dh.data() + b * h_dim;
+      float* dcr = dc.data() + b * h_dim;
+      float* dzr = dz.data() + b * g4;
+      for (std::size_t j = 0; j < h_dim; ++j) {
+        const float ig = zr[j];
+        const float fg = zr[h_dim + j];
+        const float gg = zr[2 * h_dim + j];
+        const float og = zr[3 * h_dim + j];
+        const float tc = std::tanh(cr[j]);
+        const float dh_total = dhr[j] + grad_h_at(t, b, j);
+        const float dc_total = dcr[j] + dh_total * og * (1.0F - tc * tc);
+        const float cp = c_prev != nullptr ? c_prev->at(b, j) : 0.0F;
+        dzr[j] = dc_total * gg * ig * (1.0F - ig);              // d i
+        dzr[h_dim + j] = dc_total * cp * fg * (1.0F - fg);      // d f
+        dzr[2 * h_dim + j] = dc_total * ig * (1.0F - gg * gg);  // d g
+        dzr[3 * h_dim + j] = dh_total * tc * og * (1.0F - og);  // d o
+        dcr[j] = dc_total * fg;  // carries to t-1
+      }
+    }
+
+    // Parameter gradients.
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* src = input_.data() + (b * steps + t) * input_dim_;
+      std::copy(src, src + input_dim_, x_step.data() + b * input_dim_);
+    }
+    sgemm_at(g4, batch, input_dim_, 1.0F, dz.data(), x_step.data(), 1.0F,
+             grad_w_x_.data());
+    if (h_prev != nullptr) {
+      sgemm_at(g4, batch, h_dim, 1.0F, dz.data(), h_prev->data(), 1.0F,
+               grad_w_h_.data());
+    }
+    for (std::size_t b = 0; b < batch; ++b) {
+      const float* dzr = dz.data() + b * g4;
+      for (std::size_t j = 0; j < g4; ++j) grad_bias_[j] += dzr[j];
+    }
+
+    // Input gradient for this step.
+    sgemm(batch, g4, input_dim_, 1.0F, dz.data(), w_x_.data(), 0.0F,
+          dx_step.data());
+    for (std::size_t b = 0; b < batch; ++b)
+      std::copy(dx_step.data() + b * input_dim_,
+                dx_step.data() + (b + 1) * input_dim_,
+                grad_input.data() + (b * steps + t) * input_dim_);
+
+    // dh for t-1: dz * W_h.
+    if (t > 0) {
+      sgemm(batch, g4, h_dim, 1.0F, dz.data(), w_h_.data(), 0.0F, dh.data());
+    }
+  }
+  return grad_input;
+}
+
+}  // namespace mmhar::nn

@@ -1,0 +1,91 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar::nn {
+
+Sgd::Sgd(float lr, float momentum, float weight_decay)
+    : lr_(lr), momentum_(momentum), weight_decay_(weight_decay) {
+  MMHAR_REQUIRE(lr > 0.0F, "learning rate must be positive");
+}
+
+void Sgd::step(const std::vector<Tensor*>& params,
+               const std::vector<Tensor*>& grads) {
+  MMHAR_REQUIRE(params.size() == grads.size(), "param/grad list mismatch");
+  if (velocity_.empty()) {
+    velocity_.reserve(params.size());
+    for (const Tensor* p : params) velocity_.emplace_back(p->shape());
+  }
+  MMHAR_CHECK(velocity_.size() == params.size());
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& v = velocity_[i];
+    MMHAR_CHECK(p.same_shape(g) && p.same_shape(v));
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      v[j] = momentum_ * v[j] + g[j];
+      p[j] -= lr_ * (v[j] + weight_decay_ * p[j]);
+    }
+  }
+}
+
+Adam::Adam(float lr, float beta1, float beta2, float eps, float weight_decay)
+    : lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps),
+      weight_decay_(weight_decay) {
+  MMHAR_REQUIRE(lr > 0.0F, "learning rate must be positive");
+}
+
+void Adam::step(const std::vector<Tensor*>& params,
+                const std::vector<Tensor*>& grads) {
+  MMHAR_REQUIRE(params.size() == grads.size(), "param/grad list mismatch");
+  if (m_.empty()) {
+    m_.reserve(params.size());
+    v_.reserve(params.size());
+    for (const Tensor* p : params) {
+      m_.emplace_back(p->shape());
+      v_.emplace_back(p->shape());
+    }
+  }
+  MMHAR_CHECK(m_.size() == params.size());
+  ++step_count_;
+  const float bc1 =
+      1.0F - std::pow(beta1_, static_cast<float>(step_count_));
+  const float bc2 =
+      1.0F - std::pow(beta2_, static_cast<float>(step_count_));
+
+  for (std::size_t i = 0; i < params.size(); ++i) {
+    Tensor& p = *params[i];
+    const Tensor& g = *grads[i];
+    Tensor& m = m_[i];
+    Tensor& v = v_[i];
+    MMHAR_CHECK(p.same_shape(g) && p.same_shape(m));
+    for (std::size_t j = 0; j < p.size(); ++j) {
+      m[j] = beta1_ * m[j] + (1.0F - beta1_) * g[j];
+      v[j] = beta2_ * v[j] + (1.0F - beta2_) * g[j] * g[j];
+      const float m_hat = m[j] / bc1;
+      const float v_hat = v[j] / bc2;
+      p[j] -=
+          lr_ * (m_hat / (std::sqrt(v_hat) + eps_) + weight_decay_ * p[j]);
+    }
+  }
+}
+
+float clip_gradient_norm(const std::vector<Tensor*>& grads, float max_norm) {
+  MMHAR_REQUIRE(max_norm > 0.0F, "max_norm must be positive");
+  double total = 0.0;
+  for (const Tensor* g : grads)
+    for (const float x : g->flat()) total += static_cast<double>(x) * x;
+  const float norm = static_cast<float>(std::sqrt(total));
+  if (norm > max_norm) {
+    const float scale = max_norm / norm;
+    for (Tensor* g : grads) *g *= scale;
+  }
+  return norm;
+}
+
+}  // namespace mmhar::nn

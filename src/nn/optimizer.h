@@ -1,0 +1,66 @@
+// First-order optimizers over (parameter, gradient) lists.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mmhar::nn {
+
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Apply one update. `params` and `grads` are parallel lists; the lists
+  /// must be identical (same tensors, same order) across calls so that
+  /// per-parameter state stays attached.
+  virtual void step(const std::vector<Tensor*>& params,
+                    const std::vector<Tensor*>& grads) = 0;
+};
+
+/// SGD with classical momentum and decoupled weight decay.
+class Sgd : public Optimizer {
+ public:
+  explicit Sgd(float lr, float momentum = 0.9F, float weight_decay = 0.0F);
+
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float momentum_;
+  float weight_decay_;
+  std::vector<Tensor> velocity_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  explicit Adam(float lr = 1e-3F, float beta1 = 0.9F, float beta2 = 0.999F,
+                float eps = 1e-8F, float weight_decay = 0.0F);
+
+  void step(const std::vector<Tensor*>& params,
+            const std::vector<Tensor*>& grads) override;
+
+  float learning_rate() const { return lr_; }
+  void set_learning_rate(float lr) { lr_ = lr; }
+
+ private:
+  float lr_;
+  float beta1_;
+  float beta2_;
+  float eps_;
+  float weight_decay_;
+  long step_count_ = 0;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+};
+
+/// Clip the global L2 norm of all gradients to `max_norm` (no-op if
+/// already smaller). Returns the pre-clip norm.
+float clip_gradient_norm(const std::vector<Tensor*>& grads, float max_norm);
+
+}  // namespace mmhar::nn

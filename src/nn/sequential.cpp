@@ -1,0 +1,5 @@
+// Sequential is header-only; this TU exists so the target always has at
+// least one symbol and to anchor the vtable.
+#include "nn/sequential.h"
+
+namespace mmhar::nn {}

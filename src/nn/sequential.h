@@ -1,0 +1,74 @@
+// Layer container executing members in order.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "nn/layer.h"
+
+namespace mmhar::nn {
+
+class Sequential : public Layer {
+ public:
+  Sequential() = default;
+
+  /// Append a layer; returns *this for chaining.
+  Sequential& add(LayerPtr layer) {
+    MMHAR_REQUIRE(layer != nullptr, "null layer");
+    layers_.push_back(std::move(layer));
+    return *this;
+  }
+
+  template <typename L, typename... Args>
+  Sequential& emplace(Args&&... args) {
+    return add(std::make_unique<L>(std::forward<Args>(args)...));
+  }
+
+  std::size_t num_layers() const { return layers_.size(); }
+  Layer& layer(std::size_t i) {
+    MMHAR_CHECK(i < layers_.size());
+    return *layers_[i];
+  }
+
+  Tensor forward(const Tensor& input, bool training) override {
+    Tensor x = input;
+    for (auto& l : layers_) x = l->forward(x, training);
+    return x;
+  }
+
+  Tensor backward(const Tensor& grad_output) override {
+    Tensor g = grad_output;
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+      g = (*it)->backward(g);
+    return g;
+  }
+
+  std::vector<Tensor*> parameters() override {
+    std::vector<Tensor*> all;
+    for (auto& l : layers_)
+      for (Tensor* p : l->parameters()) all.push_back(p);
+    return all;
+  }
+
+  std::vector<Tensor*> gradients() override {
+    std::vector<Tensor*> all;
+    for (auto& l : layers_)
+      for (Tensor* g : l->gradients()) all.push_back(g);
+    return all;
+  }
+
+  std::string name() const override { return "Sequential"; }
+
+  void save(BinaryWriter& w) const override {
+    for (const auto& l : layers_) l->save(w);
+  }
+  void load(BinaryReader& r) override {
+    for (auto& l : layers_) l->load(r);
+  }
+
+ private:
+  std::vector<LayerPtr> layers_;
+};
+
+}  // namespace mmhar::nn

@@ -1,0 +1,65 @@
+#include "radar/fmcw.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar::radar {
+
+namespace {
+constexpr double kSpeedOfLight = 299792458.0;
+}
+
+double FmcwConfig::wavelength_m() const {
+  return kSpeedOfLight / center_freq_hz();
+}
+
+double FmcwConfig::range_resolution_m() const {
+  return kSpeedOfLight / (2.0 * bandwidth_hz);
+}
+
+double FmcwConfig::max_range_m(std::size_t range_bins) const {
+  return range_resolution_m() * static_cast<double>(range_bins);
+}
+
+double FmcwConfig::max_unambiguous_velocity_mps() const {
+  return wavelength_m() / (4.0 * chirp_time_s);
+}
+
+mesh::Vec3 FmcwConfig::antenna_position(std::size_t k) const {
+  MMHAR_REQUIRE(k < num_virtual_antennas, "antenna index out of range");
+  const double spacing = 0.5 * wavelength_m();
+  const double offset =
+      (static_cast<double>(k) -
+       0.5 * static_cast<double>(num_virtual_antennas - 1)) *
+      spacing;
+  return {0.0, offset, 0.0};
+}
+
+double FmcwConfig::range_bin_of(double distance_m) const {
+  // Beat frequency f_b = S * 2d/c lands on bin f_b * T_c = d / range_res.
+  return distance_m / range_resolution_m();
+}
+
+double FmcwConfig::angle_bin_of(double azimuth_rad,
+                                std::size_t angle_bins) const {
+  // Spatial frequency across a λ/2 ULA is 0.5*sin(az) cycles per element;
+  // after an `angle_bins`-point FFT and fftshift, the center bin is
+  // angle_bins/2 and each bin spans 1/angle_bins cycles.
+  const double f = 0.5 * std::sin(azimuth_rad);
+  return static_cast<double>(angle_bins) / 2.0 +
+         f * static_cast<double>(angle_bins);
+}
+
+void FmcwConfig::hash_into(Hasher& h) const {
+  h.mix(start_freq_hz)
+      .mix(bandwidth_hz)
+      .mix(chirp_time_s)
+      .mix(num_samples)
+      .mix(num_chirps)
+      .mix(num_virtual_antennas)
+      .mix(tx_power_gain)
+      .mix(noise_std);
+}
+
+}  // namespace mmhar::radar

@@ -1,0 +1,69 @@
+#include "radar/scene.h"
+
+#include "mesh/primitives.h"
+
+namespace mmhar::radar {
+
+using mesh::Material;
+using mesh::TriMesh;
+using mesh::Vec3;
+
+const char* environment_name(EnvironmentKind kind) {
+  switch (kind) {
+    case EnvironmentKind::None: return "none";
+    case EnvironmentKind::Hallway: return "hallway";
+    case EnvironmentKind::Classroom: return "classroom";
+  }
+  return "?";
+}
+
+TriMesh build_environment(EnvironmentKind kind) {
+  TriMesh env;
+  switch (kind) {
+    case EnvironmentKind::None:
+      break;
+
+    case EnvironmentKind::Hallway: {
+      // Two long drywall walls flanking the corridor.
+      env.merge(mesh::make_plate({2.0, 1.6, 1.2}, {0.0, -1.0, 0.0},
+                                 {0.0, 0.0, 1.0}, 5.0, 2.4,
+                                 Material::drywall(), 3));
+      env.merge(mesh::make_plate({2.0, -1.6, 1.2}, {0.0, 1.0, 0.0},
+                                 {0.0, 0.0, 1.0}, 5.0, 2.4,
+                                 Material::drywall(), 3));
+      // End wall far behind the subject.
+      env.merge(mesh::make_plate({4.5, 0.0, 1.2}, {-1.0, 0.0, 0.0},
+                                 {0.0, 0.0, 1.0}, 3.0, 2.4,
+                                 Material::drywall(), 2));
+      // Chairs and a table along the walls.
+      env.merge(mesh::make_box({2.6, 1.1, 0.0}, {3.0, 1.45, 0.85},
+                               Material::wood()));
+      env.merge(mesh::make_box({3.2, -1.45, 0.0}, {3.6, -1.1, 0.45},
+                               Material::wood()));
+      break;
+    }
+
+    case EnvironmentKind::Classroom: {
+      // Back wall and one side wall.
+      env.merge(mesh::make_plate({4.0, 0.0, 1.2}, {-1.0, 0.0, 0.0},
+                                 {0.0, 0.0, 1.0}, 6.0, 2.4,
+                                 Material::drywall(), 3));
+      env.merge(mesh::make_plate({2.0, 2.4, 1.2}, {0.0, -1.0, 0.0},
+                                 {0.0, 0.0, 1.0}, 5.0, 2.4,
+                                 Material::drywall(), 3));
+      // Rows of tables.
+      env.merge(mesh::make_box({2.8, -1.6, 0.0}, {3.4, -0.6, 0.74},
+                               Material::wood()));
+      env.merge(mesh::make_box({2.8, 0.8, 0.0}, {3.4, 1.8, 0.74},
+                               Material::wood()));
+      // Wall-mounted television: a strong metal-backed plate.
+      env.merge(mesh::make_plate({3.95, 0.8, 1.5}, {-1.0, 0.0, 0.0},
+                                 {0.0, 0.0, 1.0}, 1.2, 0.7,
+                                 Material::aluminum(), 2));
+      break;
+    }
+  }
+  return env;
+}
+
+}  // namespace mmhar::radar

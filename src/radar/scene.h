@@ -1,0 +1,37 @@
+// Scene assembly: world-frame geometry the radar illuminates each frame.
+//
+// A scene frame combines (a) the posed human body (plus optional trigger
+// patch, attached by the attack module) and (b) a static environment.
+// Two environment presets mirror the paper's setups: the dormitory
+// hallway used for training-data collection (§VI-B) and the classroom
+// used for the cross-environment attacks (§VI-C).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "mesh/trimesh.h"
+
+namespace mmhar::radar {
+
+enum class EnvironmentKind {
+  None,        ///< free space (unit tests)
+  Hallway,     ///< training environment: long walls, chairs, tables
+  Classroom,   ///< attacking environment: tables, chairs, televisions
+};
+
+const char* environment_name(EnvironmentKind kind);
+
+/// Build the static environment mesh in world coordinates (radar at the
+/// origin, boresight +x). Static geometry is suppressed by MTI clutter
+/// removal but raises the pre-removal signal floor, as in reality.
+mesh::TriMesh build_environment(EnvironmentKind kind);
+
+/// One frame of world geometry: dynamic part (body [+ trigger]) changes
+/// per frame, static part is shared.
+struct SceneFrame {
+  mesh::TriMesh dynamic_mesh;             ///< world coordinates
+  const mesh::TriMesh* static_mesh = nullptr;  ///< optional, world coords
+};
+
+}  // namespace mmhar::radar

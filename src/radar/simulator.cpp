@@ -1,0 +1,223 @@
+#include "radar/simulator.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace mmhar::radar {
+namespace {
+
+constexpr double kSpeedOfLight = 299792458.0;
+constexpr double kPi = 3.14159265358979323846;
+constexpr double kFourPiSq = (4.0 * kPi) * (4.0 * kPi);
+
+}  // namespace
+
+Simulator::Simulator(FmcwConfig config, SimulatorOptions options)
+    : config_(config), options_(options) {
+  MMHAR_REQUIRE(dsp::is_power_of_two(config_.num_samples),
+                "num_samples must be a power of two");
+  MMHAR_REQUIRE(dsp::is_power_of_two(config_.num_chirps),
+                "num_chirps must be a power of two");
+  MMHAR_REQUIRE(config_.num_virtual_antennas >= 1, "need >= 1 antenna");
+}
+
+std::vector<Scatterer> Simulator::extract_scatterers(
+    const mesh::TriMesh& now, const mesh::TriMesh* next,
+    double frame_dt) const {
+  if (next != nullptr) {
+    MMHAR_REQUIRE(next->num_triangles() == now.num_triangles(),
+                  "frame topology mismatch: " << now.num_triangles() << " vs "
+                                              << next->num_triangles());
+    MMHAR_REQUIRE(frame_dt != 0.0, "frame_dt must be nonzero with motion");
+  }
+
+  const std::size_t t_count = now.num_triangles();
+  std::vector<Scatterer> scatterers;
+  scatterers.reserve(t_count / 2);
+
+  struct Candidate {
+    Scatterer s;
+    double range;
+    double azimuth;
+    double elevation;
+  };
+  std::vector<Candidate> candidates;
+  candidates.reserve(t_count / 2);
+
+  for (std::size_t t = 0; t < t_count; ++t) {
+    const mesh::Vec3 p = now.triangle_centroid(t);
+    const double d = mesh::norm(p);
+    if (d < 1e-6) continue;  // coincident with the radar
+    const mesh::Vec3 to_radar = p * (-1.0 / d);
+    const double cos_inc = mesh::dot(now.triangle_normal(t), to_radar);
+    if (options_.cull_backfaces && cos_inc <= 0.0) continue;
+
+    const double a_g = std::abs(cos_inc);  // geometric gain factor
+    const double a_m = now.triangle_material(t).reflectivity;
+    const double a_a = now.triangle_area(t);
+    const double amp =
+        config_.tx_power_gain * a_g * a_m * a_a / (kFourPiSq * d * d);
+    if (amp <= 0.0) continue;
+
+    double v_r = 0.0;
+    if (next != nullptr) {
+      const double d2 = mesh::norm(next->triangle_centroid(t));
+      v_r = (d2 - d) / frame_dt;
+    }
+
+    Candidate c;
+    c.s = Scatterer{p, amp, v_r};
+    c.range = d;
+    c.azimuth = std::atan2(p.y, p.x);
+    c.elevation = std::asin(std::clamp(p.z / d, -1.0, 1.0));
+    candidates.push_back(c);
+  }
+
+  if (!options_.sector_occlusion) {
+    for (const auto& c : candidates) scatterers.push_back(c.s);
+    return scatterers;
+  }
+
+  // Coarse occlusion: per angular sector keep only scatterers within
+  // `occlusion_margin_m` of the sector's nearest hit.
+  const std::size_t az_n = options_.occlusion_azimuth_sectors;
+  const std::size_t el_n = options_.occlusion_elevation_sectors;
+  std::vector<double> nearest(az_n * el_n,
+                              std::numeric_limits<double>::infinity());
+  const auto sector_of = [&](const Candidate& c) {
+    const double az01 = (c.azimuth + kPi) / (2.0 * kPi);
+    const double el01 = (c.elevation + kPi / 2.0) / kPi;
+    const std::size_t ai = std::min<std::size_t>(
+        az_n - 1, static_cast<std::size_t>(az01 * static_cast<double>(az_n)));
+    const std::size_t ei = std::min<std::size_t>(
+        el_n - 1, static_cast<std::size_t>(el01 * static_cast<double>(el_n)));
+    return ai * el_n + ei;
+  };
+  for (const auto& c : candidates) {
+    double& d = nearest[sector_of(c)];
+    d = std::min(d, c.range);
+  }
+  for (const auto& c : candidates) {
+    if (c.range <= nearest[sector_of(c)] + options_.occlusion_margin_m)
+      scatterers.push_back(c.s);
+  }
+  return scatterers;
+}
+
+dsp::RadarCube Simulator::synthesize(const std::vector<Scatterer>& scatterers,
+                                     Rng* rng) const {
+  const std::size_t q_n = config_.num_chirps;
+  const std::size_t k_n = config_.num_virtual_antennas;
+  const std::size_t n_n = config_.num_samples;
+  dsp::RadarCube cube(q_n, k_n, n_n);
+
+  const double f_c = config_.center_freq_hz();
+  const double slope = config_.slope_hz_per_s();
+  const double ts = 1.0 / config_.sample_rate_hz();
+  const double tc = config_.chirp_time_s;
+
+  std::vector<mesh::Vec3> antennas(k_n);
+  for (std::size_t k = 0; k < k_n; ++k)
+    antennas[k] = config_.antenna_position(k);
+
+  for (const auto& s : scatterers) {
+    const double d_tx = mesh::norm(s.position);
+    if (d_tx < 1e-6) continue;
+    // Per-chirp Doppler rotation from the radial velocity (two-way path).
+    const double dphi_q = -2.0 * kPi * f_c * (2.0 * s.radial_velocity * tc) /
+                          kSpeedOfLight;
+    const dsp::cfloat rot_q(static_cast<float>(std::cos(dphi_q)),
+                            static_cast<float>(std::sin(dphi_q)));
+    const float amp = static_cast<float>(s.amplitude);
+
+    for (std::size_t k = 0; k < k_n; ++k) {
+      const double d_rx = mesh::distance(s.position, antennas[k]);
+      const double path = d_tx + d_rx;
+      // Carrier phase (angle information) and beat step (range information).
+      const double phi0 = -2.0 * kPi * f_c * path / kSpeedOfLight;
+      const double dphi_n = 2.0 * kPi * slope * path / kSpeedOfLight * ts;
+      const dsp::cfloat rot_n(static_cast<float>(std::cos(dphi_n)),
+                              static_cast<float>(std::sin(dphi_n)));
+      dsp::cfloat chirp_base =
+          dsp::cfloat(static_cast<float>(std::cos(phi0)),
+                      static_cast<float>(std::sin(phi0))) *
+          amp;
+      for (std::size_t q = 0; q < q_n; ++q) {
+        dsp::cfloat c = chirp_base;
+        dsp::cfloat* row = cube.row(q, k);
+        for (std::size_t n = 0; n < n_n; ++n) {
+          row[n] += c;
+          c *= rot_n;
+        }
+        chirp_base *= rot_q;
+      }
+    }
+  }
+
+  if (rng != nullptr && config_.noise_std > 0.0) {
+    const double sigma = config_.noise_std;
+    for (auto& v : cube.raw()) {
+      v += dsp::cfloat(static_cast<float>(rng->normal(0.0, sigma)),
+                       static_cast<float>(rng->normal(0.0, sigma)));
+    }
+  }
+  return cube;
+}
+
+dsp::RadarCube Simulator::simulate_frame(const SceneFrame& frame,
+                                         const mesh::TriMesh* next_dynamic,
+                                         double frame_dt, Rng* rng) const {
+  auto scatterers =
+      extract_scatterers(frame.dynamic_mesh, next_dynamic, frame_dt);
+  if (frame.static_mesh != nullptr) {
+    const auto env = extract_scatterers(*frame.static_mesh, nullptr, 0.0);
+    scatterers.insert(scatterers.end(), env.begin(), env.end());
+  }
+  return synthesize(scatterers, rng);
+}
+
+std::vector<dsp::RadarCube> Simulator::simulate_sequence(
+    const std::vector<mesh::TriMesh>& dynamic_frames,
+    const mesh::TriMesh* static_mesh, double frame_dt, Rng* rng) const {
+  MMHAR_REQUIRE(!dynamic_frames.empty(), "empty dynamic frame sequence");
+  const std::size_t f_n = dynamic_frames.size();
+
+  // Environment scatterers are static: extract once, share across frames.
+  std::vector<Scatterer> env;
+  if (static_mesh != nullptr)
+    env = extract_scatterers(*static_mesh, nullptr, 0.0);
+
+  // Fork one RNG per frame up front so parallel execution is deterministic.
+  std::vector<Rng> frame_rngs;
+  if (rng != nullptr) {
+    frame_rngs.reserve(f_n);
+    for (std::size_t f = 0; f < f_n; ++f)
+      frame_rngs.push_back(rng->fork(f + 1));
+  }
+
+  std::vector<dsp::RadarCube> cubes;
+  cubes.reserve(f_n);
+  for (std::size_t f = 0; f < f_n; ++f)
+    cubes.emplace_back(config_.num_chirps, config_.num_virtual_antennas,
+                       config_.num_samples);
+
+  parallel_for(0, f_n, [&](std::size_t f) {
+    // Velocities come from the forward difference; the last frame reuses
+    // the backward difference so every frame has consistent Doppler.
+    const mesh::TriMesh* next =
+        f + 1 < f_n ? &dynamic_frames[f + 1] : &dynamic_frames[f - 1];
+    const double dt = f + 1 < f_n ? frame_dt : -frame_dt;
+    auto scatterers =
+        f_n == 1 ? extract_scatterers(dynamic_frames[f], nullptr, 0.0)
+                 : extract_scatterers(dynamic_frames[f], next, dt);
+    scatterers.insert(scatterers.end(), env.begin(), env.end());
+    Rng* frame_rng = rng != nullptr ? &frame_rngs[f] : nullptr;
+    cubes[f] = synthesize(scatterers, frame_rng);
+  });
+  return cubes;
+}
+
+}  // namespace mmhar::radar

@@ -1,0 +1,79 @@
+#include "tensor/gemm.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "common/thread_pool.h"
+
+namespace mmhar {
+namespace {
+
+constexpr std::size_t kBlockK = 128;
+constexpr std::size_t kBlockN = 256;
+// Below this many multiply-adds the threading overhead dominates.
+constexpr std::size_t kParallelThreshold = 1u << 18;
+
+void scale_rows(std::size_t m, std::size_t n, float beta, float* c) {
+  if (beta == 1.0F) return;
+  if (beta == 0.0F) {
+    std::fill(c, c + m * n, 0.0F);
+    return;
+  }
+  for (std::size_t i = 0; i < m * n; ++i) c[i] *= beta;
+}
+
+// Core row-range kernel: C[lo:hi, :] += alpha * A[lo:hi, :] * B.
+void gemm_rows(std::size_t lo, std::size_t hi, std::size_t k, std::size_t n,
+               float alpha, const float* a, const float* b, float* c) {
+  for (std::size_t kk = 0; kk < k; kk += kBlockK) {
+    const std::size_t kend = std::min(k, kk + kBlockK);
+    for (std::size_t nn = 0; nn < n; nn += kBlockN) {
+      const std::size_t nend = std::min(n, nn + kBlockN);
+      for (std::size_t i = lo; i < hi; ++i) {
+        const float* arow = a + i * k;
+        float* crow = c + i * n;
+        for (std::size_t p = kk; p < kend; ++p) {
+          const float av = alpha * arow[p];
+          if (av == 0.0F) continue;
+          const float* brow = b + p * n;
+          for (std::size_t j = nn; j < nend; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void sgemm(std::size_t m, std::size_t k, std::size_t n, float alpha,
+           const float* a, const float* b, float beta, float* c) {
+  scale_rows(m, n, beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == 0.0F) return;
+  if (m * n * k < kParallelThreshold || m == 1) {
+    gemm_rows(0, m, k, n, alpha, a, b, c);
+    return;
+  }
+  global_pool().parallel_for_chunked(
+      0, m, [&](std::size_t lo, std::size_t hi) {
+        gemm_rows(lo, hi, k, n, alpha, a, b, c);
+      });
+}
+
+void sgemm_at(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  // Materialize A^T once; keeps the hot kernel contiguous.
+  std::vector<float> at(m * k);
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t i = 0; i < m; ++i) at[i * k + p] = a[p * m + i];
+  sgemm(m, k, n, alpha, at.data(), b, beta, c);
+}
+
+void sgemm_bt(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, const float* b, float beta, float* c) {
+  std::vector<float> bt(k * n);
+  for (std::size_t j = 0; j < n; ++j)
+    for (std::size_t p = 0; p < k; ++p) bt[p * n + j] = b[j * k + p];
+  sgemm(m, k, n, alpha, a, bt.data(), beta, c);
+}
+
+}  // namespace mmhar

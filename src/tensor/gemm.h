@@ -1,0 +1,26 @@
+// Single-precision matrix multiply kernels.
+//
+// The NN library routes every dense contraction (Conv2D via im2col, Dense,
+// LSTM gate blocks) through these. The kernel is a cache-blocked triple
+// loop with a k-innermost accumulation order that auto-vectorizes well;
+// large products are split row-wise across the global thread pool.
+#pragma once
+
+#include <cstddef>
+
+namespace mmhar {
+
+/// C[m x n] = alpha * A[m x k] * B[k x n] + beta * C. Row-major, no aliasing.
+void sgemm(std::size_t m, std::size_t k, std::size_t n, float alpha,
+           const float* a, const float* b, float beta, float* c);
+
+/// C[m x n] += A^T[m x k] * B[k x n] where A is stored k x m (row-major).
+/// Used by backward passes that need the transpose of a stored weight.
+void sgemm_at(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+/// C[m x n] += A[m x k] * B^T[k x n] where B is stored n x k (row-major).
+void sgemm_bt(std::size_t m, std::size_t k, std::size_t n, float alpha,
+              const float* a, const float* b, float beta, float* c);
+
+}  // namespace mmhar

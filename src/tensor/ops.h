@@ -1,0 +1,43 @@
+// Free-function tensor operations shared across modules.
+#pragma once
+
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace mmhar {
+
+/// Row-wise softmax over a [rows x cols] matrix (numerically stabilized).
+Tensor softmax_rows(const Tensor& logits);
+
+/// Softmax over a rank-1 tensor.
+Tensor softmax(const Tensor& logits);
+
+/// Elementwise ReLU (out of place).
+Tensor relu(const Tensor& x);
+
+/// Elementwise hyperbolic tangent.
+Tensor tanh_elem(const Tensor& x);
+
+/// Elementwise logistic sigmoid.
+Tensor sigmoid(const Tensor& x);
+
+/// Min-max normalize to [0, 1]; constant tensors map to all-zeros.
+Tensor normalize01(const Tensor& x);
+
+/// Convert linear magnitudes to dB with a floor: 20*log10(max(x, eps)).
+Tensor to_db(const Tensor& x, float eps = 1e-6F);
+
+/// Mean over the first axis of a [n x d] matrix -> rank-1 [d].
+Tensor mean_rows(const Tensor& x);
+
+/// Concatenate rank-1 tensors into one rank-1 tensor.
+Tensor concat(const std::vector<Tensor>& parts);
+
+/// Cosine similarity of flattened tensors (0 when either norm is 0).
+float cosine_similarity(const Tensor& a, const Tensor& b);
+
+/// Pearson correlation of flattened tensors.
+float pearson_correlation(const Tensor& a, const Tensor& b);
+
+}  // namespace mmhar

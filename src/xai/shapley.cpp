@@ -1,0 +1,100 @@
+#include "xai/shapley.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmhar::xai {
+
+std::vector<double> exact_shapley(std::size_t num_players,
+                                  const ValueFunction& value) {
+  MMHAR_REQUIRE(num_players >= 1 && num_players <= 20,
+                "exact Shapley limited to 1..20 players, got " << num_players);
+  const std::size_t full = std::size_t{1} << num_players;
+
+  // Cache all coalition values once: v is called 2^M times, not M * 2^M.
+  std::vector<double> v(full);
+  std::vector<bool> mask(num_players);
+  for (std::size_t s = 0; s < full; ++s) {
+    for (std::size_t i = 0; i < num_players; ++i)
+      mask[i] = (s >> i) & std::size_t{1};
+    v[s] = value(mask);
+  }
+
+  // Precompute the weighting function |S|!(M-|S|-1)!/M! by coalition size.
+  std::vector<double> weight(num_players);
+  {
+    // log-factorials for numerical stability at larger M.
+    std::vector<double> logfact(num_players + 1, 0.0);
+    for (std::size_t i = 1; i <= num_players; ++i)
+      logfact[i] = logfact[i - 1] + std::log(static_cast<double>(i));
+    for (std::size_t s = 0; s < num_players; ++s) {
+      weight[s] = std::exp(logfact[s] + logfact[num_players - s - 1] -
+                           logfact[num_players]);
+    }
+  }
+
+  std::vector<double> phi(num_players, 0.0);
+  for (std::size_t s = 0; s < full; ++s) {
+    for (std::size_t i = 0; i < num_players; ++i) {
+      if ((s >> i) & std::size_t{1}) continue;  // i must be absent from S
+      const std::size_t with_i = s | (std::size_t{1} << i);
+      const std::size_t size_s =
+          static_cast<std::size_t>(std::popcount(s));
+      phi[i] += weight[size_s] * (v[with_i] - v[s]);
+    }
+  }
+  return phi;
+}
+
+std::vector<double> sampling_shapley(std::size_t num_players,
+                                     const ValueFunction& value,
+                                     std::size_t num_permutations, Rng& rng) {
+  MMHAR_REQUIRE(num_players >= 1, "need at least one player");
+  MMHAR_REQUIRE(num_permutations >= 1, "need at least one permutation");
+
+  std::vector<double> phi(num_players, 0.0);
+  std::vector<std::size_t> perm(num_players);
+  for (std::size_t i = 0; i < num_players; ++i) perm[i] = i;
+
+  std::vector<bool> mask(num_players);
+  const auto accumulate_permutation = [&](const std::vector<std::size_t>& p) {
+    std::fill(mask.begin(), mask.end(), false);
+    double prev = value(mask);
+    for (const std::size_t player : p) {
+      mask[player] = true;
+      const double cur = value(mask);
+      phi[player] += cur - prev;
+      prev = cur;
+    }
+  };
+
+  for (std::size_t n = 0; n < num_permutations; ++n) {
+    rng.shuffle(perm);
+    accumulate_permutation(perm);
+    // Antithetic pair: the reversed permutation (variance reduction).
+    std::vector<std::size_t> rev(perm.rbegin(), perm.rend());
+    accumulate_permutation(rev);
+  }
+
+  const double inv = 1.0 / (2.0 * static_cast<double>(num_permutations));
+  for (auto& p : phi) p *= inv;
+  return phi;
+}
+
+std::vector<std::size_t> top_k_by_magnitude(const std::vector<double>& values,
+                                            std::size_t k) {
+  std::vector<std::size_t> idx(values.size());
+  for (std::size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+  k = std::min(k, idx.size());
+  std::stable_sort(idx.begin(), idx.end(),
+                   [&values](std::size_t a, std::size_t b) {
+                     return std::abs(values[a]) > std::abs(values[b]);
+                   });
+  idx.resize(k);
+  return idx;
+}
+
+}  // namespace mmhar::xai

@@ -1,0 +1,135 @@
+// Tests for the defenses: trigger-detection classifier and the
+// correct-label augmentation defense.
+#include <gtest/gtest.h>
+
+#include "defense/augmentation.h"
+#include "defense/trigger_detector.h"
+
+namespace mmhar::defense {
+namespace {
+
+/// Synthetic "clean" samples: diffuse noise. "Triggered": noise plus a
+/// bright localized blob — the radar-visible signature of a reflector.
+har::Dataset make_clean(std::size_t n, Rng& rng) {
+  har::Dataset ds;
+  ds.set_num_classes(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    har::Sample s;
+    s.heatmaps = Tensor::rand_uniform({4, 32, 32}, rng, 0.0F, 0.3F);
+    s.label = i % 6;
+    s.spec.repetition = static_cast<std::uint32_t>(i);
+    ds.add(std::move(s));
+  }
+  return ds;
+}
+
+har::Dataset make_triggered(std::size_t n, Rng& rng) {
+  har::Dataset ds;
+  ds.set_num_classes(6);
+  for (std::size_t i = 0; i < n; ++i) {
+    har::Sample s;
+    s.heatmaps = Tensor::rand_uniform({4, 32, 32}, rng, 0.0F, 0.3F);
+    const std::size_t cy = 10 + rng.index(12);
+    const std::size_t cx = 10 + rng.index(12);
+    for (std::size_t f = 0; f < 4; ++f)
+      for (std::size_t dy = 0; dy < 3; ++dy)
+        for (std::size_t dx = 0; dx < 3; ++dx)
+          s.heatmaps[(f * 32 + cy + dy) * 32 + cx + dx] = 1.0F;
+    s.label = 0;
+    s.spec.repetition = static_cast<std::uint32_t>(1000 + i);
+    ds.add(std::move(s));
+  }
+  return ds;
+}
+
+TEST(TriggerDetector, LearnsSeparableTriggerSignature) {
+  Rng rng(1);
+  har::Dataset clean_train = make_clean(24, rng);
+  har::Dataset trig_train = make_triggered(24, rng);
+  DetectorConfig cfg;
+  cfg.epochs = 6;
+  TriggerDetector detector(cfg);
+  detector.train(clean_train, trig_train);
+
+  har::Dataset clean_test = make_clean(12, rng);
+  har::Dataset trig_test = make_triggered(12, rng);
+  const DetectorMetrics m = detector.evaluate(clean_test, trig_test);
+  EXPECT_GT(m.frame_accuracy, 0.85);
+  EXPECT_GT(m.sample_recall, 0.8);
+  EXPECT_LT(m.sample_false_positive, 0.2);
+}
+
+TEST(TriggerDetector, PerSampleDecisionsMatchFlaggedFraction) {
+  Rng rng(2);
+  har::Dataset clean_train = make_clean(16, rng);
+  har::Dataset trig_train = make_triggered(16, rng);
+  DetectorConfig cfg;
+  cfg.epochs = 4;
+  TriggerDetector detector(cfg);
+  detector.train(clean_train, trig_train);
+
+  const auto& sample = trig_train.sample(0).heatmaps;
+  const double frac = detector.flagged_fraction(sample);
+  EXPECT_GE(frac, 0.0);
+  EXPECT_LE(frac, 1.0);
+  EXPECT_EQ(detector.is_triggered(sample),
+            frac > cfg.sample_flag_fraction);
+  // Single-frame probability is a valid probability.
+  Tensor frame({32, 32});
+  std::copy(sample.data(), sample.data() + 32 * 32, frame.data());
+  const double p = detector.frame_probability(frame);
+  EXPECT_GE(p, 0.0);
+  EXPECT_LE(p, 1.0);
+}
+
+TEST(TriggerDetector, RequiresTrainingData) {
+  DetectorConfig cfg;
+  TriggerDetector detector(cfg);
+  har::Dataset empty;
+  Rng rng(3);
+  har::Dataset some = make_clean(2, rng);
+  EXPECT_THROW(detector.train(empty, some), InvalidArgument);
+  EXPECT_THROW(detector.train(some, empty), InvalidArgument);
+}
+
+TEST(Augmentation, AddsCorrectlyLabeledTriggeredSamples) {
+  Rng rng(4);
+  har::Dataset poisoned = make_clean(30, rng);  // stand-in training set
+  har::Dataset twins = make_triggered(10, rng);
+  // Give the twins a non-victim label to verify relabeling to victim.
+  for (std::size_t i = 0; i < twins.size(); ++i) twins.sample(i).label = 3;
+
+  AugmentationConfig cfg;
+  cfg.augmentation_rate = 1.0;
+  const har::Dataset augmented =
+      augment_with_correct_labels(poisoned, twins, /*victim_label=*/0, cfg);
+  EXPECT_GT(augmented.size(), poisoned.size());
+  // All added samples carry the victim (true) label.
+  for (std::size_t i = poisoned.size(); i < augmented.size(); ++i)
+    EXPECT_EQ(augmented.sample(i).label, 0u);
+}
+
+TEST(Augmentation, ZeroRateIsIdentity) {
+  Rng rng(5);
+  har::Dataset poisoned = make_clean(10, rng);
+  har::Dataset twins = make_triggered(5, rng);
+  AugmentationConfig cfg;
+  cfg.augmentation_rate = 0.0;
+  const har::Dataset out =
+      augment_with_correct_labels(poisoned, twins, 0, cfg);
+  EXPECT_EQ(out.size(), poisoned.size());
+}
+
+TEST(Augmentation, CappedByAvailableTwins) {
+  Rng rng(6);
+  har::Dataset poisoned = make_clean(60, rng);
+  har::Dataset twins = make_triggered(3, rng);
+  AugmentationConfig cfg;
+  cfg.augmentation_rate = 5.0;  // asks for far more than available
+  const har::Dataset out =
+      augment_with_correct_labels(poisoned, twins, 0, cfg);
+  EXPECT_EQ(out.size(), poisoned.size() + 3);
+}
+
+}  // namespace
+}  // namespace mmhar::defense

@@ -1,0 +1,225 @@
+// Tests for the radar-cube processing chain: Range/Doppler/Angle FFTs,
+// clutter removal, and the RDI/DRAI heatmap builders. Signals are
+// synthesized analytically (known beat frequency / inter-antenna phase /
+// inter-chirp rotation) so the expected peak bins are exact.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "dsp/heatmap.h"
+
+namespace mmhar::dsp {
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/// Inject a synthetic target: beat frequency `range_bin` cycles/chirp,
+/// angle spatial frequency `angle_cycles` cycles/antenna, Doppler
+/// `doppler_cycles` cycles/chirp-step.
+void inject_target(RadarCube& cube, double range_bin, double angle_cycles,
+                   double doppler_cycles, float amplitude = 1.0F) {
+  for (std::size_t q = 0; q < cube.num_chirps(); ++q) {
+    for (std::size_t k = 0; k < cube.num_antennas(); ++k) {
+      for (std::size_t n = 0; n < cube.num_samples(); ++n) {
+        const double phase =
+            2.0 * kPi *
+            (range_bin * static_cast<double>(n) /
+                 static_cast<double>(cube.num_samples()) +
+             angle_cycles * static_cast<double>(k) +
+             doppler_cycles * static_cast<double>(q));
+        cube.at(q, k, n) += cfloat(
+            amplitude * static_cast<float>(std::cos(phase)),
+            amplitude * static_cast<float>(std::sin(phase)));
+      }
+    }
+  }
+}
+
+HeatmapConfig test_config() {
+  HeatmapConfig cfg;
+  cfg.range_bins = 32;
+  cfg.angle_bins = 32;
+  cfg.remove_clutter = false;
+  cfg.normalize = false;
+  return cfg;
+}
+
+TEST(RadarCube, LayoutAndBounds) {
+  RadarCube cube(4, 8, 16);
+  EXPECT_EQ(cube.num_chirps(), 4u);
+  EXPECT_EQ(cube.num_antennas(), 8u);
+  EXPECT_EQ(cube.num_samples(), 16u);
+  cube.at(3, 7, 15) = cfloat(1.0F, 2.0F);
+  EXPECT_EQ(cube.row(3, 7)[15], cfloat(1.0F, 2.0F));
+  EXPECT_EQ(cube.raw().size(), 4u * 8u * 16u);
+  EXPECT_THROW(RadarCube(0, 1, 1), InvalidArgument);
+}
+
+TEST(RangeFft, PeakAtInjectedRangeBin) {
+  RadarCube cube(4, 2, 64);
+  inject_target(cube, 12.0, 0.0, 0.0);
+  auto cfg = test_config();
+  cfg.range_window = WindowKind::Rect;
+  const RangeSpectra spectra = range_fft(cube, cfg);
+  std::size_t peak = 0;
+  for (std::size_t r = 1; r < spectra.range_bins; ++r)
+    if (std::abs(spectra.at(0, 0, r)) > std::abs(spectra.at(0, 0, peak)))
+      peak = r;
+  EXPECT_EQ(peak, 12u);
+}
+
+TEST(RangeFft, CropKeepsLeadingBins) {
+  RadarCube cube(2, 1, 64);
+  inject_target(cube, 3.0, 0.0, 0.0);
+  auto cfg = test_config();
+  cfg.range_bins = 8;
+  const RangeSpectra s = range_fft(cube, cfg);
+  EXPECT_EQ(s.range_bins, 8u);
+  std::size_t peak = 0;
+  for (std::size_t r = 1; r < 8; ++r)
+    if (std::abs(s.at(0, 0, r)) > std::abs(s.at(0, 0, peak))) peak = r;
+  EXPECT_EQ(peak, 3u);
+}
+
+TEST(ClutterRemoval, KillsStaticKeepsMoving) {
+  RadarCube cube(16, 2, 64);
+  inject_target(cube, 10.0, 0.0, 0.0);   // static target
+  inject_target(cube, 20.0, 0.0, 0.2);   // moving target
+  auto cfg = test_config();
+  cfg.remove_clutter = true;
+  const RangeSpectra s = range_fft(cube, cfg);
+  double static_energy = 0.0;
+  double moving_energy = 0.0;
+  for (std::size_t q = 0; q < 16; ++q) {
+    static_energy += std::abs(s.at(q, 0, 10));
+    moving_energy += std::abs(s.at(q, 0, 20));
+  }
+  EXPECT_LT(static_energy, 0.05 * moving_energy);
+}
+
+TEST(ClutterRemoval, MeanIsExactlyZeroPerCell) {
+  RadarCube cube(8, 2, 32);
+  inject_target(cube, 5.0, 0.1, 0.13);
+  auto cfg = test_config();
+  cfg.remove_clutter = true;
+  const RangeSpectra s = range_fft(cube, cfg);
+  for (std::size_t k = 0; k < 2; ++k) {
+    for (std::size_t r = 0; r < 32; ++r) {
+      cfloat mean{0, 0};
+      for (std::size_t q = 0; q < 8; ++q) mean += s.at(q, k, r);
+      EXPECT_NEAR(std::abs(mean), 0.0F, 1e-3F);
+    }
+  }
+}
+
+TEST(Drai, PeakAtInjectedRangeAndAngle) {
+  RadarCube cube(8, 16, 64);
+  // angle_cycles = 0.25 -> after fftshift, bin 16 + 0.25*32 = 24.
+  inject_target(cube, 9.0, 0.25, 0.1);
+  auto cfg = test_config();
+  const Tensor drai = compute_drai(cube, cfg);
+  EXPECT_EQ(drai.shape(), (std::vector<std::size_t>{32, 32}));
+  std::size_t best = drai.argmax();
+  EXPECT_EQ(best / 32, 9u);   // range bin
+  EXPECT_EQ(best % 32, 24u);  // angle bin
+}
+
+TEST(Drai, NegativeAngleMapsBelowCenter) {
+  RadarCube cube(8, 16, 64);
+  inject_target(cube, 9.0, -0.25, 0.1);
+  const Tensor drai = compute_drai(cube, test_config());
+  EXPECT_EQ(drai.argmax() % 32, 8u);  // 16 - 0.25*32
+}
+
+TEST(Drai, NormalizationBoundsOutput) {
+  RadarCube cube(4, 8, 64);
+  inject_target(cube, 5.0, 0.1, 0.0, 3.0F);
+  auto cfg = test_config();
+  cfg.normalize = true;
+  const Tensor drai = compute_drai(cube, cfg);
+  EXPECT_FLOAT_EQ(drai.max(), 1.0F);
+  EXPECT_FLOAT_EQ(drai.min(), 0.0F);
+}
+
+TEST(Drai, LogScaleCompressesDynamicRange) {
+  RadarCube cube(4, 8, 64);
+  inject_target(cube, 5.0, 0.0, 0.0, 10.0F);
+  inject_target(cube, 20.0, 0.0, 0.0, 0.1F);
+  auto cfg = test_config();
+  const Tensor lin = compute_drai(cube, cfg);
+  cfg.log_scale = true;
+  const Tensor db = compute_drai(cube, cfg);
+  const double lin_ratio = lin.at(5, 16) / std::max(1e-9F, lin.at(20, 16));
+  const double db_diff = db.at(5, 16) - db.at(20, 16);
+  EXPECT_GT(lin_ratio, 50.0);
+  EXPECT_NEAR(db_diff, 20.0 * std::log10(lin_ratio), 1.0);
+}
+
+TEST(Rdi, DopplerPeakRowMatchesInjectedShift) {
+  RadarCube cube(16, 4, 64);
+  // doppler_cycles = +0.25 cycles/chirp -> shifted row 8 + 0.25*16 = 12.
+  inject_target(cube, 7.0, 0.0, 0.25);
+  auto cfg = test_config();
+  cfg.doppler_window = WindowKind::Rect;
+  const Tensor rdi = compute_rdi(cube, cfg);
+  EXPECT_EQ(rdi.shape(), (std::vector<std::size_t>{16, 32}));
+  const std::size_t best = rdi.argmax();
+  EXPECT_EQ(best % 32, 7u);   // range
+  EXPECT_EQ(best / 32, 12u);  // doppler row
+}
+
+TEST(Rdi, StaticTargetCentersAtZeroDoppler) {
+  RadarCube cube(16, 4, 64);
+  inject_target(cube, 7.0, 0.0, 0.0);
+  auto cfg = test_config();
+  cfg.doppler_window = WindowKind::Rect;
+  const Tensor rdi = compute_rdi(cube, cfg);
+  EXPECT_EQ(rdi.argmax() / 32, 8u);  // center row after fftshift
+}
+
+TEST(RangeProfile, SumsAcrossChirpsAndAntennas) {
+  RadarCube cube(4, 4, 64);
+  inject_target(cube, 11.0, 0.0, 0.0);
+  const Tensor profile = range_profile(cube, test_config());
+  EXPECT_EQ(profile.size(), 32u);
+  EXPECT_EQ(profile.argmax(), 11u);
+}
+
+TEST(DraiSequence, StacksFramesAndNormalizesGlobally) {
+  std::vector<RadarCube> frames;
+  for (int f = 0; f < 3; ++f) {
+    RadarCube cube(4, 8, 64);
+    inject_target(cube, 5.0 + f, 0.0, 0.0, 1.0F + f);
+    frames.push_back(cube);
+  }
+  auto cfg = test_config();
+  cfg.normalize = true;
+  cfg.normalize_per_sequence = true;
+  const Tensor seq = compute_drai_sequence(frames, cfg);
+  EXPECT_EQ(seq.shape(), (std::vector<std::size_t>{3, 32, 32}));
+  EXPECT_FLOAT_EQ(seq.max(), 1.0F);
+  // With per-sequence normalization the brightest frame is the last one.
+  float m0 = 0.0F;
+  float m2 = 0.0F;
+  for (std::size_t i = 0; i < 32 * 32; ++i) {
+    m0 = std::max(m0, seq[i]);
+    m2 = std::max(m2, seq[2 * 32 * 32 + i]);
+  }
+  EXPECT_GT(m2, m0);
+}
+
+TEST(Heatmap, ConfigValidation) {
+  RadarCube cube(4, 8, 48);  // 48 not a power of two
+  EXPECT_THROW(range_fft(cube, test_config()), InvalidArgument);
+  RadarCube ok(4, 8, 64);
+  auto cfg = test_config();
+  cfg.angle_bins = 4;  // < antennas
+  EXPECT_THROW(compute_drai(ok, cfg), InvalidArgument);
+  cfg = test_config();
+  cfg.range_bins = 100;  // > samples
+  EXPECT_THROW(range_fft(ok, cfg), InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mmhar::dsp

@@ -1,0 +1,162 @@
+// End-to-end integration test: the full pipeline — procedural human +
+// activity animation -> RF simulation -> DRAI heatmaps -> CNN-LSTM
+// training -> SHAP frame selection -> trigger position optimization ->
+// poisoning -> backdoored model — at miniature scale.
+//
+// Assertions target *relationships* (backdoor raises ASR above the clean
+// model's confusion; CDR stays near clean accuracy), not absolute values,
+// so the test is robust to the reduced scale.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "core/attack_eval.h"
+#include "core/backdoor_attack.h"
+#include "core/experiment.h"
+#include "defense/augmentation.h"
+#include "har/trainer.h"
+
+namespace mmhar::core {
+namespace {
+
+struct MiniWorld {
+  har::GeneratorConfig generator_config;
+  har::DatasetConfig train_grid;
+  har::DatasetConfig test_grid;
+  har::HarModelConfig model_config;
+  har::TrainConfig train_config;
+
+  MiniWorld() {
+    generator_config.num_frames = 8;
+    generator_config.radar.num_samples = 64;
+    // 16 range bins cover 2.4 m with halved bandwidth.
+    generator_config.radar.bandwidth_hz = 1.0e9;
+    generator_config.radar.num_chirps = 8;
+    generator_config.radar.num_virtual_antennas = 8;
+    generator_config.heatmap.range_bins = 16;
+    generator_config.heatmap.angle_bins = 16;
+    generator_config.environment = radar::EnvironmentKind::None;
+
+    train_grid.participants = {0, 1};
+    train_grid.distances_m = {1.2};
+    train_grid.angles_deg = {-30.0, 0.0, 30.0};
+    train_grid.repetitions = 4;
+
+    test_grid = train_grid;
+    test_grid.repetitions = 2;
+    test_grid.repetition_offset = 50;
+
+    model_config.frames = 8;
+    model_config.height = 16;
+    model_config.width = 16;
+    model_config.conv1_channels = 4;
+    model_config.conv2_channels = 8;
+    model_config.feature_dim = 24;
+    model_config.lstm_hidden = 24;
+
+    train_config.epochs = 14;
+    train_config.batch_size = 8;
+  }
+};
+
+TEST(Integration, EndToEndBackdoorAttack) {
+  const std::string cache = "test_tmp_integration";
+  std::filesystem::remove_all(cache);
+  ::setenv("MMHAR_CACHE_DIR", cache.c_str(), 1);
+
+  MiniWorld world;
+  const har::SampleGenerator gen(world.generator_config);
+  const har::Dataset train = har::build_dataset(gen, world.train_grid);
+  const har::Dataset test = har::build_dataset(gen, world.test_grid);
+  ASSERT_EQ(train.size(), 144u);
+  ASSERT_EQ(test.size(), 72u);
+
+  // 1) The clean HAR prototype learns the six activities (Fig. 7 analog).
+  har::HarModel clean_model(world.model_config);
+  har::train_model(clean_model, train, world.train_config);
+  const float clean_acc = har::evaluate_accuracy(clean_model, test);
+  EXPECT_GT(clean_acc, 0.70F) << "clean prototype failed to learn";
+
+  // 2) Plan the attack with a surrogate (different seed, same data).
+  har::HarModelConfig surrogate_cfg = world.model_config;
+  surrogate_cfg.seed = 777;
+  har::HarModel surrogate(surrogate_cfg);
+  har::train_model(surrogate, train, world.train_config);
+
+  BackdoorAttackConfig acfg;
+  acfg.victim_label = 0;  // Push
+  acfg.target_label = 1;  // Pull
+  acfg.poisoned_frames = 4;
+  acfg.shap.num_permutations = 4;
+  acfg.reference_spec.distance_m = 1.2;
+  BackdoorAttack attack(gen, surrogate, acfg);
+  const BackdoorPlan plan = attack.plan(train);
+  ASSERT_EQ(plan.frames.size(), 4u);
+
+  // 3) Poison at a high injection rate and train the victim model.
+  const PoisonResult poisoned =
+      attack.poison(train, world.train_grid, plan, 0.5);
+  EXPECT_EQ(poisoned.poisoned_indices.size(), 12u);  // 0.5 * 24 victims
+  har::HarModel backdoored(world.model_config);
+  har::train_model(backdoored, poisoned.dataset, world.train_config);
+
+  // 4) Attack test set: triggered twins of held-out victim samples.
+  const har::Dataset attack_test = load_or_build_triggered_twins(
+      gen, world.test_grid, acfg.victim_label, plan.placement, cache);
+  ASSERT_EQ(attack_test.size(), 12u);
+
+  const AttackMetrics backdoored_metrics = evaluate_attack(
+      backdoored, test, attack_test, acfg.victim_label, acfg.target_label);
+  const AttackMetrics clean_metrics = evaluate_attack(
+      clean_model, test, attack_test, acfg.victim_label, acfg.target_label);
+
+  // The backdoor must beat the clean model's trigger response by a wide
+  // margin, and stay usable on clean data.
+  EXPECT_GT(backdoored_metrics.asr, clean_metrics.asr + 0.25)
+      << "backdoored ASR " << backdoored_metrics.asr << " vs clean baseline "
+      << clean_metrics.asr;
+  EXPECT_GE(backdoored_metrics.uasr, backdoored_metrics.asr);
+  EXPECT_GT(backdoored_metrics.cdr, clean_acc - 0.25);
+
+  // 5) Augmentation defense: adding correctly-labeled triggered samples
+  // of the victim activity reduces ASR.
+  const har::Dataset defense_twins = load_or_build_triggered_twins(
+      gen, world.train_grid, acfg.victim_label, plan.placement, cache);
+  defense::AugmentationConfig dcfg;
+  dcfg.augmentation_rate = 1.0;
+  const har::Dataset defended_train = defense::augment_with_correct_labels(
+      poisoned.dataset, defense_twins, acfg.victim_label, dcfg);
+  har::HarModel defended(world.model_config);
+  har::train_model(defended, defended_train, world.train_config);
+  const AttackMetrics defended_metrics = evaluate_attack(
+      defended, test, attack_test, acfg.victim_label, acfg.target_label);
+  EXPECT_LT(defended_metrics.asr, backdoored_metrics.asr)
+      << "augmentation defense failed to reduce ASR";
+
+  ::unsetenv("MMHAR_CACHE_DIR");
+  std::filesystem::remove_all(cache);
+}
+
+TEST(Integration, ExperimentSetupStandardIsConsistent) {
+  const ExperimentSetup s = ExperimentSetup::standard();
+  EXPECT_EQ(s.train_generator.environment, radar::EnvironmentKind::Hallway);
+  EXPECT_EQ(s.attack_generator.environment,
+            radar::EnvironmentKind::Classroom);
+  // Disjoint repetition ranges between train/test/attack grids.
+  EXPECT_NE(s.train_grid.repetition_offset, s.test_grid.repetition_offset);
+  EXPECT_NE(s.test_grid.repetition_offset, s.attack_grid.repetition_offset);
+  // The paper's 12 positions.
+  EXPECT_EQ(s.train_grid.distances_m.size() * s.train_grid.angles_deg.size(),
+            12u);
+  EXPECT_EQ(s.model.num_classes, 6u);
+  EXPECT_GE(s.repeats, 1u);
+}
+
+TEST(Integration, PctFormatsPercentages) {
+  EXPECT_EQ(pct(0.842), "84.2");
+  EXPECT_EQ(pct(1.0), "100.0");
+  EXPECT_EQ(pct(0.0), "0.0");
+}
+
+}  // namespace
+}  // namespace mmhar::core

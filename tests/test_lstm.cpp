@@ -1,0 +1,150 @@
+// LSTM-specific tests: shapes, BPTT gradient checks, long-range memory,
+// and sequence-output mode.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "nn/dense.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "nn/lstm.h"
+#include "nn/optimizer.h"
+
+namespace mmhar::nn {
+namespace {
+
+TEST(Lstm, OutputShapes) {
+  Rng rng(1);
+  LSTM last(5, 7, rng, /*return_sequence=*/false);
+  const Tensor x = Tensor::randn({3, 9, 5}, rng);
+  EXPECT_EQ(last.forward(x, false).shape(),
+            (std::vector<std::size_t>{3, 7}));
+  LSTM seq(5, 7, rng, /*return_sequence=*/true);
+  EXPECT_EQ(seq.forward(x, false).shape(),
+            (std::vector<std::size_t>{3, 9, 7}));
+  EXPECT_THROW(last.forward(Tensor({3, 9, 4}), false), InvalidArgument);
+}
+
+TEST(Lstm, ForgetBiasInitializedToOne) {
+  Rng rng(2);
+  LSTM lstm(3, 4, rng);
+  const Tensor& b = *lstm.parameters()[2];
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_EQ(b[i], 0.0F);        // input
+  for (std::size_t i = 4; i < 8; ++i) EXPECT_EQ(b[i], 1.0F);        // forget
+  for (std::size_t i = 8; i < 16; ++i) EXPECT_EQ(b[i], 0.0F);       // g, o
+}
+
+TEST(Lstm, GradCheckLastOutput) {
+  Rng rng(3);
+  LSTM lstm(4, 5, rng);
+  const Tensor x = Tensor::randn({2, 6, 4}, rng, 0.0F, 0.5F);
+  const auto r = check_layer_gradients(lstm, x, rng, 1e-2F, 50);
+  EXPECT_LT(r.max_relative_error, 2.5e-2F) << "checked " << r.checked;
+}
+
+TEST(Lstm, GradCheckSequenceOutput) {
+  Rng rng(4);
+  LSTM lstm(3, 4, rng, /*return_sequence=*/true);
+  const Tensor x = Tensor::randn({2, 5, 3}, rng, 0.0F, 0.5F);
+  const auto r = check_layer_gradients(lstm, x, rng, 1e-2F, 50);
+  EXPECT_LT(r.max_relative_error, 2.5e-2F);
+}
+
+TEST(Lstm, SingleStepMatchesManualCellMath) {
+  Rng rng(5);
+  LSTM lstm(1, 1, rng);
+  // Force known parameters: all weights 0.5, biases 0 (forget bias too).
+  for (Tensor* p : lstm.parameters()) p->fill(0.5F);
+  const float xin = 0.8F;
+  Tensor x({1, 1, 1}, {xin});
+  const Tensor h = lstm.forward(x, false);
+  const auto sig = [](float v) { return 1.0F / (1.0F + std::exp(-v)); };
+  const float z = 0.5F * xin + 0.5F;  // Wx*x + b, h_prev = 0
+  const float expected =
+      sig(z) * std::tanh(sig(z) * std::tanh(z));  // o * tanh(i * g * f...)
+  // c = f*c0 + i*g = i*g (c0=0); h = o * tanh(c)
+  const float c = sig(z) * std::tanh(z);
+  const float expected_h = sig(z) * std::tanh(c);
+  (void)expected;
+  EXPECT_NEAR(h[0], expected_h, 1e-5F);
+}
+
+TEST(Lstm, RemembersEarlySignal) {
+  // Task: the label equals the first timestep's sign; later steps are
+  // noise. Requires carrying state across the full sequence.
+  Rng rng(6);
+  const std::size_t steps = 12;
+  LSTM lstm(1, 8, rng);
+  Dense head(8, 2, rng);
+  Adam opt(0.02F);
+  auto params = lstm.parameters();
+  for (Tensor* p : head.parameters()) params.push_back(p);
+  auto grads = lstm.gradients();
+  for (Tensor* g : head.gradients()) grads.push_back(g);
+
+  Rng data_rng(7);
+  const auto make_batch = [&](std::size_t n, Tensor& x,
+                              std::vector<std::size_t>& y) {
+    x = Tensor({n, steps, 1});
+    y.resize(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      const bool positive = data_rng.bernoulli(0.5);
+      y[i] = positive ? 1 : 0;
+      x[i * steps] = positive ? 1.0F : -1.0F;
+      for (std::size_t t = 1; t < steps; ++t)
+        x[i * steps + t] = static_cast<float>(data_rng.normal(0.0, 0.3));
+    }
+  };
+
+  for (int epoch = 0; epoch < 150; ++epoch) {
+    Tensor x;
+    std::vector<std::size_t> y;
+    make_batch(16, x, y);
+    lstm.zero_gradients();
+    head.zero_gradients();
+    const Tensor h = lstm.forward(x, true);
+    const Tensor logits = head.forward(h, true);
+    const auto loss = softmax_cross_entropy(logits, y);
+    lstm.backward(head.backward(loss.grad_logits));
+    clip_gradient_norm(grads, 5.0F);
+    opt.step(params, grads);
+  }
+
+  Tensor x;
+  std::vector<std::size_t> y;
+  make_batch(64, x, y);
+  const Tensor logits = head.forward(lstm.forward(x, false), false);
+  EXPECT_GT(accuracy(logits, y), 0.9F);
+}
+
+TEST(Lstm, OrderSensitivity) {
+  // The LSTM output must depend on the order of inputs (unlike a
+  // bag-of-frames model) — this is why poisoning must pick frames.
+  Rng rng(8);
+  LSTM lstm(2, 6, rng);
+  Tensor fwd({1, 4, 2});
+  for (std::size_t i = 0; i < fwd.size(); ++i)
+    fwd[i] = static_cast<float>(i) * 0.1F;
+  Tensor rev = fwd;
+  for (std::size_t t = 0; t < 4; ++t)
+    for (std::size_t d = 0; d < 2; ++d)
+      rev[t * 2 + d] = fwd[(3 - t) * 2 + d];
+  const Tensor hf = lstm.forward(fwd, false);
+  const Tensor hr = lstm.forward(rev, false);
+  EXPECT_GT(Tensor::l2_distance(hf, hr), 1e-4F);
+}
+
+TEST(Lstm, StateSaturationIsBounded) {
+  // Hidden activations stay in (-1, 1) regardless of input magnitude.
+  Rng rng(9);
+  LSTM lstm(3, 5, rng);
+  const Tensor x = Tensor::randn({2, 20, 3}, rng, 0.0F, 50.0F);
+  const Tensor h = lstm.forward(x, false);
+  for (const float v : h.flat()) {
+    EXPECT_GT(v, -1.0F);
+    EXPECT_LT(v, 1.0F);
+  }
+}
+
+}  // namespace
+}  // namespace mmhar::nn

@@ -1,0 +1,345 @@
+// Tests for geometry, primitives, the articulated human body, trigger
+// attachment, and the activity animator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "mesh/activity.h"
+#include "mesh/human.h"
+#include "mesh/primitives.h"
+#include "mesh/trigger.h"
+
+namespace mmhar::mesh {
+namespace {
+
+TEST(Geometry, VectorAlgebra) {
+  const Vec3 a{1, 2, 3};
+  const Vec3 b{4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(a, b), 32.0);
+  const Vec3 c = cross(Vec3{1, 0, 0}, Vec3{0, 1, 0});
+  EXPECT_DOUBLE_EQ(c.z, 1.0);
+  EXPECT_NEAR(norm(Vec3{3, 4, 0}), 5.0, 1e-12);
+  const Vec3 n = normalized(Vec3{0, 0, 5});
+  EXPECT_DOUBLE_EQ(n.z, 1.0);
+  EXPECT_DOUBLE_EQ(norm(normalized(Vec3{0, 0, 0})), 0.0);
+}
+
+TEST(Geometry, RotateZ) {
+  const Vec3 r = rotate_z(Vec3{1, 0, 0}, kPi / 2.0);
+  EXPECT_NEAR(r.x, 0.0, 1e-12);
+  EXPECT_NEAR(r.y, 1.0, 1e-12);
+  EXPECT_NEAR(rad2deg(deg2rad(33.0)), 33.0, 1e-12);
+}
+
+TEST(TriMesh, AddMergeAndDerivedQuantities) {
+  TriMesh m;
+  const auto v0 = m.add_vertex({0, 0, 0});
+  const auto v1 = m.add_vertex({1, 0, 0});
+  const auto v2 = m.add_vertex({0, 1, 0});
+  m.add_triangle(v0, v1, v2, Material::skin());
+  EXPECT_EQ(m.num_triangles(), 1u);
+  EXPECT_NEAR(m.triangle_area(0), 0.5, 1e-12);
+  EXPECT_NEAR(m.triangle_normal(0).z, 1.0, 1e-12);
+  const Vec3 c = m.triangle_centroid(0);
+  EXPECT_NEAR(c.x, 1.0 / 3.0, 1e-12);
+
+  TriMesh other;
+  other.add_vertex({5, 5, 5});
+  other.add_vertex({6, 5, 5});
+  other.add_vertex({5, 6, 5});
+  other.add_triangle(0, 1, 2, Material::aluminum());
+  m.merge(other);
+  EXPECT_EQ(m.num_triangles(), 2u);
+  EXPECT_EQ(m.num_vertices(), 6u);
+  EXPECT_FLOAT_EQ(m.triangle_material(1).reflectivity,
+                  Material::aluminum().reflectivity);
+  EXPECT_NEAR(m.total_area(), 1.0, 1e-12);
+}
+
+TEST(TriMesh, TransformsActOnAllVertices) {
+  TriMesh m;
+  m.add_vertex({1, 0, 0});
+  m.add_vertex({2, 0, 0});
+  m.translate({0, 0, 3});
+  EXPECT_DOUBLE_EQ(m.vertices()[0].z, 3.0);
+  m.rotate_z_about_origin(kPi);
+  EXPECT_NEAR(m.vertices()[1].x, -2.0, 1e-12);
+  m.scale_about({0, 0, 0}, 2.0);
+  EXPECT_NEAR(m.vertices()[1].x, -4.0, 1e-12);
+}
+
+TEST(TriMesh, RejectsOutOfRangeIndices) {
+  TriMesh m;
+  m.add_vertex({0, 0, 0});
+  EXPECT_THROW(m.add_triangle(0, 1, 2, Material::skin()), InvalidArgument);
+}
+
+TEST(Primitives, SphereAreaApproximatesAnalytic) {
+  const double r = 0.5;
+  const TriMesh s =
+      make_sphere({0, 0, 0}, r, Material::skin(), 12, 16);
+  const double analytic = 4.0 * kPi * r * r;
+  EXPECT_NEAR(s.total_area(), analytic, 0.1 * analytic);
+  // Normals point outward.
+  for (std::size_t t = 0; t < s.num_triangles(); t += 7) {
+    const Vec3 c = s.triangle_centroid(t);
+    EXPECT_GT(dot(s.triangle_normal(t), normalized(c)), 0.0);
+  }
+}
+
+TEST(Primitives, CapsuleSpansItsAxis) {
+  const Vec3 a{0, 0, 0};
+  const Vec3 b{0, 0, 1};
+  const TriMesh c = make_capsule(a, b, 0.1, Material::skin());
+  const Vec3 lo = c.bounds_min();
+  const Vec3 hi = c.bounds_max();
+  EXPECT_NEAR(lo.z, -0.1, 1e-9);
+  EXPECT_NEAR(hi.z, 1.1, 1e-9);
+  EXPECT_NEAR(hi.x, 0.1, 1e-9);
+  EXPECT_THROW(make_capsule(a, a, 0.1, Material::skin()), InvalidArgument);
+}
+
+TEST(Primitives, BoxHasOutwardNormalsAndFullArea) {
+  const TriMesh box = make_box({0, 0, 0}, {1, 2, 3}, Material::wood());
+  EXPECT_EQ(box.num_triangles(), 12u);
+  EXPECT_NEAR(box.total_area(), 2 * (1 * 2 + 1 * 3 + 2 * 3), 1e-9);
+  const Vec3 center{0.5, 1.0, 1.5};
+  for (std::size_t t = 0; t < 12; ++t) {
+    const Vec3 out = box.triangle_centroid(t) - center;
+    EXPECT_GT(dot(box.triangle_normal(t), out), 0.0) << "face " << t;
+  }
+  EXPECT_THROW(make_box({1, 0, 0}, {0, 1, 1}, Material::wood()),
+               InvalidArgument);
+}
+
+TEST(Primitives, PlateFacesRequestedNormal) {
+  const Vec3 n{-1, 0, 0};
+  const TriMesh p = make_plate({2, 0, 1}, n, {0, 0, 1}, 0.1, 0.2,
+                               Material::aluminum(), 2);
+  EXPECT_EQ(p.num_triangles(), 8u);
+  EXPECT_NEAR(p.total_area(), 0.02, 1e-9);
+  for (std::size_t t = 0; t < p.num_triangles(); ++t)
+    EXPECT_GT(dot(p.triangle_normal(t), n), 0.99);
+}
+
+TEST(Human, BuildProducesReasonableBody) {
+  const HumanBody body(BodyParams::participant(0));
+  const TriMesh m = body.build(HumanPose{});
+  EXPECT_GT(m.num_triangles(), 200u);
+  EXPECT_LT(m.num_triangles(), 2000u);
+  const Vec3 hi = m.bounds_max();
+  const Vec3 lo = m.bounds_min();
+  EXPECT_NEAR(hi.z, body.params().height, 0.12);
+  EXPECT_GT(lo.z, -0.2);
+}
+
+TEST(Human, ParticipantsHaveDistinctHeights) {
+  const double h0 = BodyParams::participant(0).height;
+  const double h1 = BodyParams::participant(1).height;
+  const double h2 = BodyParams::participant(2).height;
+  EXPECT_NE(h0, h1);
+  EXPECT_NE(h1, h2);
+  EXPECT_EQ(BodyParams::participant(3).height, h0);  // wraps mod 3
+}
+
+TEST(Human, TopologyIsPoseInvariant) {
+  const HumanBody body(BodyParams::participant(1));
+  HumanPose a;
+  HumanPose b;
+  b.right_hand = {-0.55, -0.1, 1.1};
+  const TriMesh ma = body.build(a);
+  const TriMesh mb = body.build(b);
+  // Same triangle count and connectivity — required by the simulator's
+  // frame-to-frame velocity estimation.
+  ASSERT_EQ(ma.num_triangles(), mb.num_triangles());
+  ASSERT_EQ(ma.num_vertices(), mb.num_vertices());
+  for (std::size_t t = 0; t < ma.num_triangles(); t += 13) {
+    EXPECT_EQ(ma.triangles()[t].v0, mb.triangles()[t].v0);
+    EXPECT_EQ(ma.triangles()[t].v1, mb.triangles()[t].v1);
+  }
+}
+
+TEST(Human, HandFollowsPoseTarget) {
+  const HumanBody body(BodyParams::participant(0));
+  HumanPose pose;
+  pose.right_hand = {-0.4, -0.15, 1.2};
+  const TriMesh m = body.build(pose);
+  // Some vertex should lie within the hand-sphere radius of the target.
+  double best = 1e9;
+  for (const auto& v : m.vertices())
+    best = std::min(best, distance(v, pose.right_hand));
+  EXPECT_LT(best, body.params().hand_radius + 1e-6);
+}
+
+TEST(Human, UnreachableTargetIsClamped) {
+  const HumanBody body(BodyParams::participant(0));
+  HumanPose pose;
+  pose.right_hand = {-5.0, 0.0, 1.0};  // far beyond arm reach
+  EXPECT_NO_THROW(body.build(pose));
+}
+
+TEST(Human, AnchorsAreOnTheBodyFront) {
+  const HumanBody body(BodyParams::participant(0));
+  for (const BodyAnchor a : all_anchors()) {
+    const Vec3 p = body.anchor_position(a);
+    EXPECT_LT(p.x, 0.0) << anchor_name(a);  // front faces local -x
+    EXPECT_GT(p.z, 0.0);
+    EXPECT_LT(p.z, body.params().height);
+    EXPECT_NEAR(norm(body.anchor_normal(a)), 1.0, 1e-12);
+  }
+  EXPECT_EQ(all_anchors().size(), kNumAnchors);
+}
+
+TEST(Human, PlacementFacesTheRadar) {
+  const HumanBody body(BodyParams::participant(0));
+  TriMesh m = body.build(HumanPose{});
+  const double d = 1.5;
+  const double angle = deg2rad(30.0);
+  place_in_world(m, d, angle);
+  const Vec3 c = m.vertex_centroid();
+  EXPECT_NEAR(std::atan2(c.y, c.x), angle, 0.05);
+  EXPECT_NEAR(std::hypot(c.x, c.y), d, 0.1);
+  // The chest anchor must end up on the radar side of the body centroid.
+  const Vec3 chest = place_point_in_world(
+      body.anchor_position(BodyAnchor::Chest), d, angle);
+  EXPECT_LT(std::hypot(chest.x, chest.y), std::hypot(c.x, c.y));
+}
+
+TEST(Trigger, SpecSizesMatchPaper) {
+  const TriggerSpec small = TriggerSpec::aluminum_2x2();
+  EXPECT_NEAR(small.width_m, 0.0508, 1e-6);
+  const TriggerSpec big = TriggerSpec::aluminum_4x4();
+  EXPECT_NEAR(big.width_m, 0.1016, 1e-6);
+  EXPECT_NEAR(big.width_m * big.height_m, 4 * small.width_m * small.height_m,
+              1e-9);
+}
+
+TEST(Trigger, AttachAddsMetalPlateAtStandoff) {
+  const HumanBody body(BodyParams::participant(0));
+  TriMesh m = body.build(HumanPose{});
+  const std::size_t before = m.num_triangles();
+  TriggerSpec spec;
+  const Vec3 pos = body.anchor_position(BodyAnchor::Chest);
+  attach_trigger(m, pos, {-1, 0, 0}, spec);
+  EXPECT_EQ(m.num_triangles(), before + 2 * spec.tessellation *
+                                            spec.tessellation);
+  // New triangles carry metal reflectivity and sit in front of the body.
+  const std::size_t t = before;
+  EXPECT_FLOAT_EQ(m.triangle_material(t).reflectivity, spec.reflectivity);
+  EXPECT_LT(m.triangle_centroid(t).x, pos.x);
+}
+
+TEST(Trigger, UnderClothingAttenuatesReflectivity) {
+  TriggerSpec spec;
+  spec.under_clothing = true;
+  const float hidden = spec.effective_reflectivity();
+  spec.under_clothing = false;
+  const float bare = spec.effective_reflectivity();
+  EXPECT_LT(hidden, bare);
+  EXPECT_GT(hidden, 0.9F * bare);  // fabric is nearly RF-transparent
+}
+
+TEST(Activity, NamesAndIndices) {
+  EXPECT_STREQ(activity_name(Activity::Push), "Push");
+  EXPECT_STREQ(activity_name(Activity::Anticlockwise), "Anticlockwise");
+  EXPECT_EQ(activity_from_index(3), Activity::RightSwipe);
+  EXPECT_THROW(activity_from_index(6), InvalidArgument);
+}
+
+TEST(Activity, SimilarTrajectoryPairs) {
+  EXPECT_TRUE(similar_trajectories(Activity::Push, Activity::Pull));
+  EXPECT_TRUE(
+      similar_trajectories(Activity::LeftSwipe, Activity::RightSwipe));
+  EXPECT_TRUE(
+      similar_trajectories(Activity::Clockwise, Activity::Anticlockwise));
+  EXPECT_FALSE(similar_trajectories(Activity::Push, Activity::RightSwipe));
+  EXPECT_FALSE(similar_trajectories(Activity::Push, Activity::Push));
+}
+
+class AnimatorActivities : public ::testing::TestWithParam<Activity> {};
+
+TEST_P(AnimatorActivities, TrajectoriesAreReachableAndSmooth) {
+  const HumanBody body(BodyParams::participant(0));
+  const ActivityAnimator animator(body);
+  Rng rng(5);
+  const auto traj = animator.hand_trajectory(GetParam(), 32, rng);
+  ASSERT_EQ(traj.size(), 32u);
+  const double reach =
+      body.params().upper_arm_length + body.params().forearm_length + 0.1;
+  for (std::size_t f = 0; f < traj.size(); ++f) {
+    EXPECT_LT(distance(traj[f], body.right_shoulder()), reach + 0.35)
+        << "frame " << f;
+    if (f > 0) EXPECT_LT(distance(traj[f], traj[f - 1]), 0.15);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    All, AnimatorActivities,
+    ::testing::Values(Activity::Push, Activity::Pull, Activity::LeftSwipe,
+                      Activity::RightSwipe, Activity::Clockwise,
+                      Activity::Anticlockwise));
+
+TEST(Animator, PushMovesTowardRadarPullAway) {
+  const HumanBody body(BodyParams::participant(0));
+  MotionJitter still;
+  still.amplitude_sigma = 0.0;
+  still.center_sigma = 0.0;
+  still.phase_sigma = 0.0;
+  still.tremor_sigma = 0.0;
+  const ActivityAnimator animator(body, still);
+  Rng rng(1);
+  const auto push = animator.hand_trajectory(Activity::Push, 32, rng);
+  const auto pull = animator.hand_trajectory(Activity::Pull, 32, rng);
+  // Push: mid-gesture x is smaller (closer to radar at local -x) than at
+  // the start; Pull is the opposite.
+  EXPECT_LT(push[16].x, push[0].x);
+  EXPECT_GT(pull[16].x, pull[0].x);
+}
+
+TEST(Animator, SwipesMirrorEachOther) {
+  const HumanBody body(BodyParams::participant(0));
+  MotionJitter still;
+  still.amplitude_sigma = 0.0;
+  still.center_sigma = 0.0;
+  still.phase_sigma = 0.0;
+  still.tremor_sigma = 0.0;
+  const ActivityAnimator animator(body, still);
+  Rng rng(1);
+  const auto left = animator.hand_trajectory(Activity::LeftSwipe, 16, rng);
+  Rng rng2(1);
+  const auto right =
+      animator.hand_trajectory(Activity::RightSwipe, 16, rng2);
+  const double y0 = left[0].y;
+  for (std::size_t f = 0; f < 16; ++f)
+    EXPECT_NEAR(left[f].y - y0, -(right[f].y - y0), 1e-9);
+}
+
+TEST(Animator, JitterMakesRepetitionsDistinct) {
+  const HumanBody body(BodyParams::participant(0));
+  const ActivityAnimator animator(body);
+  Rng rng(10);
+  const auto a = animator.hand_trajectory(Activity::Push, 32, rng);
+  const auto b = animator.hand_trajectory(Activity::Push, 32, rng);
+  double diff = 0.0;
+  for (std::size_t f = 0; f < 32; ++f) diff += distance(a[f], b[f]);
+  EXPECT_GT(diff, 1e-3);
+}
+
+TEST(Sway, OffsetsAreBoundedAndMoving) {
+  MotionJitter jitter;
+  Rng rng(3);
+  const auto sway = body_sway_offsets(jitter, 32, 0.5, rng);
+  ASSERT_EQ(sway.size(), 32u);
+  double max_amp = 0.0;
+  double path = 0.0;
+  for (std::size_t f = 0; f < 32; ++f) {
+    max_amp = std::max(max_amp, norm(sway[f]));
+    if (f > 0) path += distance(sway[f], sway[f - 1]);
+  }
+  EXPECT_LT(max_amp, 0.1);   // centimeters, not meters
+  EXPECT_GT(path, 1e-4);     // genuinely moving (keeps the torso post-MTI)
+}
+
+}  // namespace
+}  // namespace mmhar::mesh

@@ -1,0 +1,313 @@
+// Tests for the neural-network substrate: gradient checks against
+// central finite differences for every layer, loss correctness, optimizer
+// convergence on analytic problems, and (de)serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "nn/activation.h"
+#include "nn/conv.h"
+#include "nn/dense.h"
+#include "nn/gradcheck.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+#include "nn/sequential.h"
+
+namespace mmhar::nn {
+namespace {
+
+constexpr float kGradTol = 2e-2F;  // relative, fp32 + fd epsilon
+
+TEST(Dense, ForwardMatchesManualComputation) {
+  Rng rng(1);
+  Dense layer(2, 2, rng);
+  // Overwrite weights with known values: W=[[1,2],[3,4]], b=[0.5, -0.5].
+  Tensor& w = *layer.parameters()[0];
+  w.at(0, 0) = 1;
+  w.at(0, 1) = 2;
+  w.at(1, 0) = 3;
+  w.at(1, 1) = 4;
+  Tensor& b = *layer.parameters()[1];
+  b[0] = 0.5F;
+  b[1] = -0.5F;
+  Tensor x({1, 2}, {10, 20});
+  const Tensor y = layer.forward(x, false);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 10 * 1 + 20 * 2 + 0.5F);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 10 * 3 + 20 * 4 - 0.5F);
+}
+
+TEST(Dense, GradCheck) {
+  Rng rng(2);
+  Dense layer(7, 5, rng);
+  const Tensor x = Tensor::randn({3, 7}, rng);
+  const auto r = check_layer_gradients(layer, x, rng);
+  EXPECT_LT(r.max_relative_error, kGradTol) << "checked " << r.checked;
+}
+
+TEST(ReLUAndTanh, GradCheck) {
+  Rng rng(3);
+  ReLU relu_layer;
+  // Keep inputs away from the ReLU kink where the gradient is undefined.
+  Tensor x = Tensor::randn({4, 6}, rng);
+  for (auto& v : x.flat())
+    if (std::abs(v) < 0.05F) v = 0.2F;
+  const auto r = check_layer_gradients(relu_layer, x, rng);
+  EXPECT_LT(r.max_relative_error, kGradTol);
+
+  Tanh tanh_layer;
+  const Tensor x2 = Tensor::randn({4, 6}, rng);
+  const auto r2 = check_layer_gradients(tanh_layer, x2, rng, 1e-2F);
+  EXPECT_LT(r2.max_relative_error, kGradTol);
+}
+
+TEST(Conv2D, OutputShapeAndGradCheck) {
+  Rng rng(4);
+  Conv2D conv(2, 3, 3, 2, 1, rng);
+  const Tensor x = Tensor::randn({2, 2, 8, 8}, rng, 0.0F, 1.0F);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 3, 4, 4}));
+  const auto r = check_layer_gradients(conv, x, rng, 1e-2F, 60);
+  EXPECT_LT(r.max_relative_error, kGradTol);
+}
+
+TEST(Conv2D, KernelLargerStride1Padding) {
+  Rng rng(5);
+  Conv2D conv(1, 2, 5, 1, 2, rng);
+  const Tensor x = Tensor::randn({1, 1, 6, 6}, rng);
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 2, 6, 6}));
+  const auto r = check_layer_gradients(conv, x, rng, 1e-2F, 60);
+  EXPECT_LT(r.max_relative_error, kGradTol);
+}
+
+TEST(Conv2D, IdentityKernelReproducesInput) {
+  Rng rng(6);
+  Conv2D conv(1, 1, 1, 1, 0, rng);
+  conv.parameters()[0]->at(0, 0) = 1.0F;  // 1x1 kernel = identity
+  (*conv.parameters()[1])[0] = 0.0F;
+  const Tensor x = Tensor::randn({1, 1, 5, 5}, rng);
+  const Tensor y = conv.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_NEAR(y[i], x[i], 1e-6F);
+}
+
+TEST(MaxPool2D, ForwardAndRouting) {
+  MaxPool2D pool(2);
+  Tensor x({1, 1, 2, 4}, {1, 5, 2, 3,
+                          4, 0, 9, 1});
+  const Tensor y = pool.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{1, 1, 1, 2}));
+  EXPECT_FLOAT_EQ(y[0], 5.0F);
+  EXPECT_FLOAT_EQ(y[1], 9.0F);
+  Tensor g({1, 1, 1, 2}, {1.0F, 2.0F});
+  const Tensor gx = pool.backward(g);
+  EXPECT_FLOAT_EQ(gx[1], 1.0F);  // routed to the argmax (value 5)
+  EXPECT_FLOAT_EQ(gx[6], 2.0F);  // routed to the argmax (value 9)
+  EXPECT_FLOAT_EQ(gx[0], 0.0F);
+}
+
+TEST(MaxPool2D, GradCheck) {
+  Rng rng(7);
+  MaxPool2D pool(2);
+  // Distinct values avoid argmax ties that break finite differences.
+  Tensor x({1, 2, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i)
+    x[i] = static_cast<float>(i % 7) + 0.13F * static_cast<float>(i);
+  const auto r = check_layer_gradients(pool, x, rng);
+  EXPECT_LT(r.max_relative_error, kGradTol);
+}
+
+TEST(Flatten, RoundTripsShape) {
+  Flatten flatten;
+  Rng rng(8);
+  const Tensor x = Tensor::randn({2, 3, 4, 5}, rng);
+  const Tensor y = flatten.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 60}));
+  const Tensor gx = flatten.backward(y);
+  EXPECT_EQ(gx.shape(), x.shape());
+}
+
+TEST(Dropout, InferenceIsIdentityTrainingScales) {
+  Rng rng(9);
+  Dropout drop(0.5, rng);
+  const Tensor x = Tensor::full({1000}, 1.0F);
+  const Tensor eval_out = drop.forward(x, false);
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(eval_out[i], 1.0F);
+  const Tensor train_out = drop.forward(x, true);
+  std::size_t zeros = 0;
+  for (const float v : train_out.flat()) {
+    if (v == 0.0F) {
+      ++zeros;
+    } else {
+      EXPECT_FLOAT_EQ(v, 2.0F);  // inverted dropout scale 1/(1-p)
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros), 500.0, 60.0);
+  // Mean preserved in expectation.
+  EXPECT_NEAR(train_out.mean(), 1.0F, 0.15F);
+}
+
+TEST(Sequential, ComposesAndExposesParameters) {
+  Rng rng(10);
+  Sequential net;
+  net.emplace<Dense>(4, 8, rng);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(8, 2, rng);
+  EXPECT_EQ(net.num_layers(), 3u);
+  EXPECT_EQ(net.parameters().size(), 4u);
+  EXPECT_EQ(net.gradients().size(), 4u);
+  const Tensor x = Tensor::randn({5, 4}, rng);
+  const Tensor y = net.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{5, 2}));
+  const auto r = check_layer_gradients(net, x, rng);
+  EXPECT_LT(r.max_relative_error, kGradTol);
+}
+
+TEST(Sequential, SaveLoadRoundTrip) {
+  Rng rng(11);
+  Sequential a;
+  a.emplace<Dense>(3, 4, rng);
+  a.emplace<ReLU>();
+  a.emplace<Dense>(4, 2, rng);
+  Rng rng2(999);
+  Sequential b;
+  b.emplace<Dense>(3, 4, rng2);
+  b.emplace<ReLU>();
+  b.emplace<Dense>(4, 2, rng2);
+
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    a.save(w);
+  }
+  BinaryReader r(ss);
+  b.load(r);
+  const Tensor x = Tensor::randn({2, 3}, rng);
+  const Tensor ya = a.forward(x, false);
+  const Tensor yb = b.forward(x, false);
+  for (std::size_t i = 0; i < ya.size(); ++i) EXPECT_EQ(ya[i], yb[i]);
+}
+
+TEST(Loss, CrossEntropyValueAndGradient) {
+  Tensor logits({2, 3}, {1.0F, 2.0F, 3.0F, 0.0F, 0.0F, 0.0F});
+  const std::vector<std::size_t> labels{2, 0};
+  const auto result = softmax_cross_entropy(logits, labels);
+  // Manual: row0 p2 = e^3/(e+e^2+e^3); row1 p0 = 1/3.
+  const double p2 = std::exp(3.0) / (std::exp(1.0) + std::exp(2.0) +
+                                     std::exp(3.0));
+  const double expected = (-std::log(p2) - std::log(1.0 / 3.0)) / 2.0;
+  EXPECT_NEAR(result.loss, expected, 1e-5);
+  // Gradient rows sum to zero (softmax - onehot).
+  for (std::size_t b = 0; b < 2; ++b) {
+    float sum = 0.0F;
+    for (std::size_t c = 0; c < 3; ++c) sum += result.grad_logits.at(b, c);
+    EXPECT_NEAR(sum, 0.0F, 1e-6F);
+  }
+  EXPECT_LT(result.grad_logits.at(0, 2), 0.0F);  // push true class up
+}
+
+TEST(Loss, GradMatchesFiniteDifference) {
+  Rng rng(12);
+  const Tensor logits = Tensor::randn({3, 4}, rng);
+  const std::vector<std::size_t> labels{1, 3, 0};
+  const auto result = softmax_cross_entropy(logits, labels);
+  const auto fn = [&labels](const Tensor& x) {
+    return softmax_cross_entropy(x, labels).loss;
+  };
+  const auto r =
+      check_function_gradient(fn, logits, result.grad_logits, 1e-3F);
+  EXPECT_LT(r.max_relative_error, kGradTol);
+}
+
+TEST(Loss, AccuracyCountsArgmaxMatches) {
+  Tensor logits({3, 2}, {2, 1, 0, 3, 5, 4});
+  EXPECT_FLOAT_EQ(accuracy(logits, {0, 1, 0}), 1.0F);
+  EXPECT_NEAR(accuracy(logits, {1, 1, 0}), 2.0F / 3.0F, 1e-6F);
+}
+
+TEST(Optimizer, SgdConvergesOnQuadratic) {
+  // Minimize ||x - c||^2 via gradient steps.
+  Tensor x({3}, {5, -3, 2});
+  const Tensor c({3}, {1, 1, 1});
+  Tensor g({3});
+  Sgd opt(0.1F, 0.0F);
+  for (int i = 0; i < 200; ++i) {
+    for (std::size_t j = 0; j < 3; ++j) g[j] = 2.0F * (x[j] - c[j]);
+    opt.step({&x}, {&g});
+  }
+  for (std::size_t j = 0; j < 3; ++j) EXPECT_NEAR(x[j], c[j], 1e-3F);
+}
+
+TEST(Optimizer, MomentumAcceleratesIllConditionedProblem) {
+  const auto run = [](float momentum) {
+    Tensor x({2}, {10.0F, 10.0F});
+    Tensor g({2});
+    Sgd opt(0.02F, momentum);
+    for (int i = 0; i < 100; ++i) {
+      g[0] = 2.0F * x[0];
+      g[1] = 40.0F * x[1];  // condition number 20
+      opt.step({&x}, {&g});
+    }
+    return std::abs(x[0]);
+  };
+  EXPECT_LT(run(0.9F), run(0.0F));
+}
+
+TEST(Optimizer, AdamConvergesAndIsScaleInvariant) {
+  Tensor x({2}, {4.0F, 4.0F});
+  Tensor g({2});
+  Adam opt(0.1F);
+  for (int i = 0; i < 300; ++i) {
+    g[0] = 2.0F * x[0];
+    g[1] = 2000.0F * x[1];  // vastly different gradient scales
+    opt.step({&x}, {&g});
+  }
+  EXPECT_NEAR(x[0], 0.0F, 1e-2F);
+  EXPECT_NEAR(x[1], 0.0F, 1e-2F);
+}
+
+TEST(Optimizer, WeightDecayShrinksParameters) {
+  Tensor x({1}, {1.0F});
+  Tensor g({1}, {0.0F});
+  Sgd opt(0.1F, 0.0F, 0.5F);
+  for (int i = 0; i < 10; ++i) opt.step({&x}, {&g});
+  EXPECT_LT(x[0], 1.0F);
+  EXPECT_GT(x[0], 0.0F);
+}
+
+TEST(Optimizer, GradientClippingBoundsNorm) {
+  Tensor g1({2}, {30.0F, 40.0F});
+  Tensor g2({1}, {0.0F});
+  const float pre = clip_gradient_norm({&g1, &g2}, 5.0F);
+  EXPECT_FLOAT_EQ(pre, 50.0F);
+  double norm = 0.0;
+  for (const float v : g1.flat()) norm += static_cast<double>(v) * v;
+  EXPECT_NEAR(std::sqrt(norm), 5.0, 1e-4);
+  // No-op when already small.
+  Tensor g3({1}, {1.0F});
+  clip_gradient_norm({&g3}, 5.0F);
+  EXPECT_FLOAT_EQ(g3[0], 1.0F);
+}
+
+TEST(Training, TwoLayerNetLearnsXor) {
+  Rng rng(13);
+  Sequential net;
+  net.emplace<Dense>(2, 8, rng);
+  net.emplace<Tanh>();
+  net.emplace<Dense>(8, 2, rng);
+  Adam opt(0.05F);
+  const Tensor x({4, 2}, {0, 0, 0, 1, 1, 0, 1, 1});
+  const std::vector<std::size_t> y{0, 1, 1, 0};
+  for (int epoch = 0; epoch < 300; ++epoch) {
+    net.zero_gradients();
+    const Tensor logits = net.forward(x, true);
+    const auto loss = softmax_cross_entropy(logits, y);
+    net.backward(loss.grad_logits);
+    opt.step(net.parameters(), net.gradients());
+  }
+  const Tensor logits = net.forward(x, false);
+  EXPECT_FLOAT_EQ(accuracy(logits, y), 1.0F);
+}
+
+}  // namespace
+}  // namespace mmhar::nn

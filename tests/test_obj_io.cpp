@@ -1,0 +1,75 @@
+// Tests for OBJ import/export.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/serialize.h"
+#include "mesh/human.h"
+#include "mesh/obj_io.h"
+#include "mesh/primitives.h"
+
+namespace mmhar::mesh {
+namespace {
+
+TEST(ObjIo, RoundTripsGeometry) {
+  const TriMesh box = make_box({0, 0, 0}, {1, 2, 3}, Material::wood());
+  std::stringstream ss;
+  write_obj(ss, box);
+  const TriMesh back = read_obj(ss);
+  ASSERT_EQ(back.num_vertices(), box.num_vertices());
+  ASSERT_EQ(back.num_triangles(), box.num_triangles());
+  for (std::size_t i = 0; i < box.num_vertices(); ++i) {
+    EXPECT_NEAR(back.vertices()[i].x, box.vertices()[i].x, 1e-7);
+    EXPECT_NEAR(back.vertices()[i].y, box.vertices()[i].y, 1e-7);
+    EXPECT_NEAR(back.vertices()[i].z, box.vertices()[i].z, 1e-7);
+  }
+  for (std::size_t t = 0; t < box.num_triangles(); ++t) {
+    EXPECT_EQ(back.triangles()[t].v0, box.triangles()[t].v0);
+    EXPECT_EQ(back.triangles()[t].v2, box.triangles()[t].v2);
+  }
+}
+
+TEST(ObjIo, ParsesFaceIndexSuffixes) {
+  std::stringstream ss("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 1/1/1 2/2/2 3/3/3\n");
+  const TriMesh m = read_obj(ss);
+  EXPECT_EQ(m.num_triangles(), 1u);
+  EXPECT_EQ(m.triangles()[0].v2, 2u);
+}
+
+TEST(ObjIo, RejectsMalformedInput) {
+  std::stringstream bad_vertex("v 1 2\nf 1 2 3\n");
+  EXPECT_THROW(read_obj(bad_vertex), IoError);
+  std::stringstream zero_index("v 0 0 0\nv 1 0 0\nv 0 1 0\nf 0 1 2\n");
+  EXPECT_THROW(read_obj(zero_index), Error);
+}
+
+TEST(ObjIo, SavesSequenceWithNumberedNames) {
+  const std::string dir = "test_tmp_obj";
+  ensure_directory(dir);
+  const HumanBody body(BodyParams::participant(0));
+  std::vector<TriMesh> frames{body.build(HumanPose{}),
+                              body.build(HumanPose{})};
+  save_obj_sequence(dir + "/pose", frames);
+  EXPECT_TRUE(file_exists(dir + "/pose_0000.obj"));
+  EXPECT_TRUE(file_exists(dir + "/pose_0001.obj"));
+  std::filesystem::remove_all(dir);
+}
+
+TEST(ObjIo, HumanBodyExportIsWellFormed) {
+  const HumanBody body(BodyParams::participant(2));
+  std::stringstream ss;
+  write_obj(ss, body.build(HumanPose{}));
+  const TriMesh back = read_obj(ss);
+  EXPECT_GT(back.num_triangles(), 200u);
+  // All face indices valid.
+  for (const auto& t : back.triangles()) {
+    EXPECT_LT(t.v0, back.num_vertices());
+    EXPECT_LT(t.v1, back.num_vertices());
+    EXPECT_LT(t.v2, back.num_vertices());
+  }
+}
+
+}  // namespace
+}  // namespace mmhar::mesh

@@ -1,0 +1,249 @@
+// Tests for the Eq.-3 IF-signal simulator: visibility, amplitude model,
+// and — via the FFT pipeline — exact range/angle/Doppler localization of
+// known point scatterers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dsp/heatmap.h"
+#include "mesh/primitives.h"
+#include "radar/simulator.h"
+
+namespace mmhar::radar {
+namespace {
+
+FmcwConfig quiet_config() {
+  FmcwConfig cfg;
+  cfg.noise_std = 0.0;
+  return cfg;
+}
+
+dsp::HeatmapConfig heatmap_config(bool clutter = false) {
+  dsp::HeatmapConfig cfg;
+  cfg.range_bins = 32;
+  cfg.angle_bins = 32;
+  cfg.remove_clutter = clutter;
+  cfg.normalize = false;
+  return cfg;
+}
+
+TEST(FmcwConfig, DerivedQuantities) {
+  const FmcwConfig cfg;
+  EXPECT_NEAR(cfg.range_resolution_m(), 0.075, 1e-4);
+  EXPECT_NEAR(cfg.wavelength_m(), 0.00384, 1e-4);
+  EXPECT_NEAR(cfg.max_range_m(32), 2.4, 5e-3);
+  EXPECT_NEAR(cfg.range_bin_of(1.5), 20.0, 0.1);
+  EXPECT_NEAR(cfg.angle_bin_of(0.0, 32), 16.0, 1e-9);
+  EXPECT_GT(cfg.max_unambiguous_velocity_mps(), 1.0);
+  // ULA centered on the origin with lambda/2 spacing.
+  const double spacing = mesh::distance(cfg.antenna_position(0),
+                                        cfg.antenna_position(1));
+  EXPECT_NEAR(spacing, 0.5 * cfg.wavelength_m(), 1e-9);
+  mesh::Vec3 centroid{0, 0, 0};
+  for (std::size_t k = 0; k < cfg.num_virtual_antennas; ++k)
+    centroid += cfg.antenna_position(k);
+  EXPECT_NEAR(mesh::norm(centroid), 0.0, 1e-12);
+}
+
+TEST(Scatterers, BackfaceCullingDropsAwayFacingTriangles) {
+  // A closed box: roughly half the faces look away from the radar.
+  const mesh::TriMesh box = mesh::make_box({1.0, -0.2, -0.2}, {1.4, 0.2, 0.2},
+                                           mesh::Material::wood());
+  const Simulator sim(quiet_config());
+  const auto scatterers = sim.extract_scatterers(box, nullptr, 0.0);
+  EXPECT_LT(scatterers.size(), box.num_triangles());
+  EXPECT_GT(scatterers.size(), 0u);
+  for (const auto& s : scatterers) EXPECT_GT(s.amplitude, 0.0);
+}
+
+TEST(Scatterers, AmplitudeFollowsInverseSquare) {
+  const mesh::Material mat = mesh::Material::aluminum();
+  const Simulator sim(quiet_config());
+  const auto amp_at = [&](double d) {
+    const mesh::TriMesh plate = mesh::make_plate(
+        {d, 0, 0}, {-1, 0, 0}, {0, 0, 1}, 0.05, 0.05, mat, 1);
+    const auto s = sim.extract_scatterers(plate, nullptr, 0.0);
+    double total = 0.0;
+    for (const auto& x : s) total += x.amplitude;
+    return total;
+  };
+  const double near = amp_at(1.0);
+  const double far = amp_at(2.0);
+  EXPECT_NEAR(near / far, 4.0, 0.1);  // 1/d^2 spreading
+}
+
+TEST(Scatterers, SectorOcclusionHidesGeometryBehindBlocker) {
+  // A large plate at 1 m fully blocks a small plate directly behind it.
+  mesh::TriMesh scene = mesh::make_plate({1.0, 0, 0}, {-1, 0, 0}, {0, 0, 1},
+                                         0.5, 0.5, mesh::Material::wood(), 2);
+  const std::size_t front_tris = scene.num_triangles();
+  scene.merge(mesh::make_plate({1.5, 0, 0}, {-1, 0, 0}, {0, 0, 1}, 0.1, 0.1,
+                               mesh::Material::aluminum(), 1));
+  SimulatorOptions opts;
+  opts.sector_occlusion = true;
+  const Simulator sim(quiet_config(), opts);
+  const auto visible = sim.extract_scatterers(scene, nullptr, 0.0);
+  // Only the front plate's triangles survive.
+  EXPECT_EQ(visible.size(), front_tris);
+  for (const auto& s : visible) EXPECT_LT(s.position.x, 1.2);
+
+  SimulatorOptions no_occ;
+  no_occ.sector_occlusion = false;
+  const Simulator sim2(quiet_config(), no_occ);
+  EXPECT_GT(sim2.extract_scatterers(scene, nullptr, 0.0).size(),
+            visible.size());
+}
+
+TEST(Scatterers, RadialVelocityFromFrameDifference) {
+  const auto plate_at = [](double x) {
+    return mesh::make_plate({x, 0, 0}, {-1, 0, 0}, {0, 0, 1}, 0.05, 0.05,
+                            mesh::Material::skin(), 1);
+  };
+  const mesh::TriMesh now = plate_at(1.5);
+  const mesh::TriMesh next = plate_at(1.52);
+  const Simulator sim(quiet_config());
+  const auto s = sim.extract_scatterers(now, &next, 0.02);
+  ASSERT_FALSE(s.empty());
+  for (const auto& x : s) EXPECT_NEAR(x.radial_velocity, 1.0, 1e-3);
+  EXPECT_THROW(sim.extract_scatterers(now, &next, 0.0), InvalidArgument);
+}
+
+TEST(Scatterers, TopologyMismatchRejected) {
+  const mesh::TriMesh a = mesh::make_plate({1, 0, 0}, {-1, 0, 0}, {0, 0, 1},
+                                           0.1, 0.1, mesh::Material::skin(), 1);
+  const mesh::TriMesh b = mesh::make_plate({1, 0, 0}, {-1, 0, 0}, {0, 0, 1},
+                                           0.1, 0.1, mesh::Material::skin(), 2);
+  const Simulator sim(quiet_config());
+  EXPECT_THROW(sim.extract_scatterers(a, &b, 0.1), InvalidArgument);
+}
+
+TEST(Synthesis, PointTargetLandsOnPredictedRangeBin) {
+  const FmcwConfig cfg = quiet_config();
+  const Simulator sim(cfg);
+  const double d = 1.5;
+  std::vector<Scatterer> s{{mesh::Vec3{d, 0, 0}, 1.0, 0.0}};
+  const dsp::RadarCube cube = sim.synthesize(s);
+  const Tensor profile = dsp::range_profile(cube, heatmap_config());
+  EXPECT_EQ(profile.argmax(),
+            static_cast<std::size_t>(std::lround(cfg.range_bin_of(d))));
+}
+
+class AngleCases : public ::testing::TestWithParam<double> {};
+
+TEST_P(AngleCases, PointTargetLandsOnPredictedAngleBin) {
+  const double az_deg = GetParam();
+  const FmcwConfig cfg = quiet_config();
+  const Simulator sim(cfg);
+  const double az = mesh::deg2rad(az_deg);
+  const double d = 1.5;
+  std::vector<Scatterer> s{
+      {mesh::Vec3{d * std::cos(az), d * std::sin(az), 0.0}, 1.0, 0.0}};
+  const Tensor drai = dsp::compute_drai(sim.synthesize(s), heatmap_config());
+  const std::size_t angle_bin = drai.argmax() % 32;
+  const double expected = cfg.angle_bin_of(az, 32);
+  EXPECT_NEAR(static_cast<double>(angle_bin), expected, 1.0)
+      << "azimuth " << az_deg;
+}
+
+INSTANTIATE_TEST_SUITE_P(Azimuths, AngleCases,
+                         ::testing::Values(-30.0, -15.0, 0.0, 15.0, 30.0));
+
+TEST(Synthesis, ApproachingTargetShowsPositiveDoppler) {
+  const FmcwConfig cfg = quiet_config();
+  const Simulator sim(cfg);
+  // Approaching: radial velocity negative (range shrinking).
+  std::vector<Scatterer> s{{mesh::Vec3{1.5, 0, 0}, 1.0, -0.8}};
+  auto hm_cfg = heatmap_config();
+  const Tensor rdi = dsp::compute_rdi(sim.synthesize(s), hm_cfg);
+  const std::size_t row = rdi.argmax() / 32;
+  EXPECT_GT(row, rdi.dim(0) / 2);  // above center = approaching
+  std::vector<Scatterer> r{{mesh::Vec3{1.5, 0, 0}, 1.0, 0.8}};
+  const Tensor rdi2 = dsp::compute_rdi(sim.synthesize(r), hm_cfg);
+  EXPECT_LT(rdi2.argmax() / 32, rdi2.dim(0) / 2);
+}
+
+TEST(Synthesis, NoiseIsDeterministicPerSeed) {
+  FmcwConfig cfg;
+  cfg.noise_std = 0.05;
+  const Simulator sim(cfg);
+  std::vector<Scatterer> s{{mesh::Vec3{1.0, 0, 0}, 1.0, 0.0}};
+  Rng a(42);
+  Rng b(42);
+  const auto ca = sim.synthesize(s, &a);
+  const auto cb = sim.synthesize(s, &b);
+  EXPECT_EQ(ca.raw(), cb.raw());
+  Rng c(43);
+  const auto cc = sim.synthesize(s, &c);
+  EXPECT_NE(ca.raw(), cc.raw());
+}
+
+TEST(Synthesis, StrongerMaterialYieldsStrongerReturn) {
+  const Simulator sim(quiet_config());
+  const auto energy_of = [&](const mesh::Material& mat) {
+    const mesh::TriMesh plate = mesh::make_plate(
+        {1.2, 0, 0}, {-1, 0, 0}, {0, 0, 1}, 0.05, 0.05, mat, 1);
+    const auto cube =
+        sim.synthesize(sim.extract_scatterers(plate, nullptr, 0.0));
+    double e = 0.0;
+    for (const auto& v : cube.raw()) e += std::norm(v);
+    return e;
+  };
+  EXPECT_GT(energy_of(mesh::Material::aluminum()),
+            10.0 * energy_of(mesh::Material::skin()));
+}
+
+TEST(Sequence, ParallelFramesMatchDeterministicReplay) {
+  FmcwConfig cfg;
+  cfg.noise_std = 0.01;
+  const Simulator sim(cfg);
+  std::vector<mesh::TriMesh> frames;
+  for (int f = 0; f < 6; ++f) {
+    frames.push_back(mesh::make_plate({1.2 + 0.01 * f, 0, 0}, {-1, 0, 0},
+                                      {0, 0, 1}, 0.05, 0.05,
+                                      mesh::Material::skin(), 1));
+  }
+  Rng a(7);
+  const auto run1 = sim.simulate_sequence(frames, nullptr, 0.016, &a);
+  Rng b(7);
+  const auto run2 = sim.simulate_sequence(frames, nullptr, 0.016, &b);
+  ASSERT_EQ(run1.size(), run2.size());
+  for (std::size_t f = 0; f < run1.size(); ++f)
+    EXPECT_EQ(run1[f].raw(), run2[f].raw()) << "frame " << f;
+}
+
+TEST(Sequence, StaticEnvironmentVanishesAfterClutterRemoval) {
+  FmcwConfig cfg = quiet_config();
+  const Simulator sim(cfg);
+  const mesh::TriMesh env = build_environment(EnvironmentKind::Classroom);
+  // Single moving plate plus the static room.
+  std::vector<mesh::TriMesh> frames;
+  for (int f = 0; f < 4; ++f)
+    frames.push_back(mesh::make_plate({1.2 + 0.02 * f, 0, 0}, {-1, 0, 0},
+                                      {0, 0, 1}, 0.08, 0.08,
+                                      mesh::Material::skin(), 1));
+  const auto cubes = sim.simulate_sequence(frames, &env, 0.016, nullptr);
+  const Tensor drai = dsp::compute_drai(cubes[1], heatmap_config(true));
+  // All remaining energy concentrates near the moving plate's range.
+  const std::size_t peak_range = drai.argmax() / 32;
+  EXPECT_NEAR(static_cast<double>(peak_range), cfg.range_bin_of(1.24), 1.5);
+}
+
+TEST(Environment, PresetsProduceGeometry) {
+  EXPECT_EQ(build_environment(EnvironmentKind::None).num_triangles(), 0u);
+  EXPECT_GT(build_environment(EnvironmentKind::Hallway).num_triangles(), 10u);
+  EXPECT_GT(build_environment(EnvironmentKind::Classroom).num_triangles(),
+            10u);
+  EXPECT_STREQ(environment_name(EnvironmentKind::Hallway), "hallway");
+}
+
+TEST(Simulator, RejectsBadConfig) {
+  FmcwConfig bad;
+  bad.num_samples = 48;
+  EXPECT_THROW(Simulator{bad}, InvalidArgument);
+  FmcwConfig bad2;
+  bad2.num_chirps = 12;
+  EXPECT_THROW(Simulator{bad2}, InvalidArgument);
+}
+
+}  // namespace
+}  // namespace mmhar::radar

@@ -1,0 +1,252 @@
+// Unit tests for the tensor substrate: shapes, arithmetic, reductions,
+// GEMM kernels vs a naive oracle, ops, and serialization.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "common/rng.h"
+#include "tensor/gemm.h"
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+
+namespace mmhar {
+namespace {
+
+TEST(Tensor, ConstructionAndShape) {
+  Tensor t({2, 3, 4});
+  EXPECT_EQ(t.rank(), 3u);
+  EXPECT_EQ(t.size(), 24u);
+  EXPECT_EQ(t.dim(0), 2u);
+  EXPECT_EQ(t.dim(2), 4u);
+  EXPECT_EQ(t.shape_string(), "[2, 3, 4]");
+  for (const float v : t.flat()) EXPECT_EQ(v, 0.0F);
+}
+
+TEST(Tensor, DataConstructorValidatesSize) {
+  EXPECT_NO_THROW(Tensor({2, 2}, {1, 2, 3, 4}));
+  EXPECT_THROW(Tensor({2, 2}, {1, 2, 3}), InvalidArgument);
+}
+
+TEST(Tensor, MultiDimAccessors) {
+  Tensor t({2, 3});
+  t.at(1, 2) = 5.0F;
+  EXPECT_EQ(t.at(1, 2), 5.0F);
+  EXPECT_EQ(t[1 * 3 + 2], 5.0F);
+  Tensor u({2, 2, 2, 2});
+  u.at(1, 0, 1, 0) = 3.0F;
+  EXPECT_EQ(u.at(1, 0, 1, 0), 3.0F);
+  EXPECT_THROW(t.at(2, 0), Error);
+  EXPECT_THROW(t.at(0), Error);  // wrong rank
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksSize) {
+  Tensor t({2, 3}, {1, 2, 3, 4, 5, 6});
+  const Tensor r = t.reshaped({3, 2});
+  EXPECT_EQ(r.at(2, 1), 6.0F);
+  EXPECT_THROW(t.reshaped({4, 2}), InvalidArgument);
+}
+
+TEST(Tensor, Arithmetic) {
+  Tensor a({3}, {1, 2, 3});
+  Tensor b({3}, {10, 20, 30});
+  a += b;
+  EXPECT_EQ(a[2], 33.0F);
+  a -= b;
+  EXPECT_EQ(a[2], 3.0F);
+  a *= 2.0F;
+  EXPECT_EQ(a[0], 2.0F);
+  a.add_scaled(b, 0.5F);
+  EXPECT_EQ(a[1], 14.0F);
+  a.mul_elementwise(b);
+  EXPECT_EQ(a[0], 70.0F);
+  Tensor c({2}, {1, 1});
+  EXPECT_THROW(a += c, InvalidArgument);
+}
+
+TEST(Tensor, Reductions) {
+  Tensor t({4}, {-1, 2, 0, 3});
+  EXPECT_FLOAT_EQ(t.sum(), 4.0F);
+  EXPECT_FLOAT_EQ(t.mean(), 1.0F);
+  EXPECT_FLOAT_EQ(t.min(), -1.0F);
+  EXPECT_FLOAT_EQ(t.max(), 3.0F);
+  EXPECT_EQ(t.argmax(), 3u);
+  EXPECT_FLOAT_EQ(t.l2_norm(), std::sqrt(14.0F));
+}
+
+TEST(Tensor, DistanceAndDot) {
+  Tensor a({3}, {1, 0, 0});
+  Tensor b({3}, {0, 1, 0});
+  EXPECT_FLOAT_EQ(Tensor::l2_distance(a, b), std::sqrt(2.0F));
+  EXPECT_FLOAT_EQ(Tensor::dot(a, b), 0.0F);
+  EXPECT_FLOAT_EQ(Tensor::dot(a, a), 1.0F);
+}
+
+TEST(Tensor, RandnStatistics) {
+  Rng rng(1);
+  Tensor t = Tensor::randn({10000}, rng, 2.0F, 0.5F);
+  EXPECT_NEAR(t.mean(), 2.0F, 0.05F);
+}
+
+TEST(Tensor, SaveLoadRoundTrip) {
+  Rng rng(9);
+  Tensor t = Tensor::randn({3, 5}, rng);
+  std::stringstream ss;
+  {
+    BinaryWriter w(ss);
+    t.save(w);
+  }
+  BinaryReader r(ss);
+  const Tensor u = Tensor::load(r);
+  ASSERT_TRUE(t.same_shape(u));
+  for (std::size_t i = 0; i < t.size(); ++i) EXPECT_EQ(t[i], u[i]);
+}
+
+// ---- GEMM vs naive oracle ----
+
+void naive_gemm(std::size_t m, std::size_t k, std::size_t n, float alpha,
+                const float* a, const float* b, float beta, float* c) {
+  for (std::size_t i = 0; i < m; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      double acc = 0.0;
+      for (std::size_t p = 0; p < k; ++p)
+        acc += static_cast<double>(a[i * k + p]) * b[p * n + j];
+      c[i * n + j] = alpha * static_cast<float>(acc) + beta * c[i * n + j];
+    }
+  }
+}
+
+struct GemmDims {
+  std::size_t m, k, n;
+};
+
+class GemmTest : public ::testing::TestWithParam<GemmDims> {};
+
+TEST_P(GemmTest, MatchesNaive) {
+  const auto [m, k, n] = GetParam();
+  Rng rng(m * 1000 + k * 100 + n);
+  Tensor a = Tensor::randn({m, k}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c = Tensor::randn({m, n}, rng);
+  Tensor c_ref = c;
+  sgemm(m, k, n, 1.5F, a.data(), b.data(), 0.5F, c.data());
+  naive_gemm(m, k, n, 1.5F, a.data(), b.data(), 0.5F, c_ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], c_ref[i], 1e-3F * (1.0F + std::abs(c_ref[i])))
+        << "at " << i;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, GemmTest,
+    ::testing::Values(GemmDims{1, 1, 1}, GemmDims{3, 4, 5},
+                      GemmDims{16, 16, 16}, GemmDims{1, 64, 32},
+                      GemmDims{33, 17, 65}, GemmDims{64, 200, 48},
+                      GemmDims{128, 300, 64}));
+
+TEST(Gemm, TransposedVariantsMatchNaive) {
+  const std::size_t m = 13;
+  const std::size_t k = 21;
+  const std::size_t n = 17;
+  Rng rng(77);
+  // A stored as [k x m] for sgemm_at.
+  Tensor a_t = Tensor::randn({k, m}, rng);
+  Tensor b = Tensor::randn({k, n}, rng);
+  Tensor c({m, n});
+  sgemm_at(m, k, n, 1.0F, a_t.data(), b.data(), 0.0F, c.data());
+
+  Tensor a({m, k});
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t i = 0; i < m; ++i) a.at(i, p) = a_t.at(p, i);
+  Tensor c_ref({m, n});
+  naive_gemm(m, k, n, 1.0F, a.data(), b.data(), 0.0F, c_ref.data());
+  for (std::size_t i = 0; i < c.size(); ++i)
+    EXPECT_NEAR(c[i], c_ref[i], 1e-3F);
+
+  // B stored as [n x k] for sgemm_bt.
+  Tensor b_t({n, k});
+  for (std::size_t p = 0; p < k; ++p)
+    for (std::size_t j = 0; j < n; ++j) b_t.at(j, p) = b.at(p, j);
+  Tensor c2({m, n});
+  sgemm_bt(m, k, n, 1.0F, a.data(), b_t.data(), 0.0F, c2.data());
+  for (std::size_t i = 0; i < c2.size(); ++i)
+    EXPECT_NEAR(c2[i], c_ref[i], 1e-3F);
+}
+
+// ---- ops ----
+
+TEST(Ops, SoftmaxRowsSumToOne) {
+  Tensor x({2, 3}, {1, 2, 3, -1, 0, 1});
+  const Tensor p = softmax_rows(x);
+  for (std::size_t r = 0; r < 2; ++r) {
+    float sum = 0.0F;
+    for (std::size_t c = 0; c < 3; ++c) {
+      EXPECT_GT(p.at(r, c), 0.0F);
+      sum += p.at(r, c);
+    }
+    EXPECT_NEAR(sum, 1.0F, 1e-5F);
+  }
+  EXPECT_GT(p.at(0, 2), p.at(0, 0));
+}
+
+TEST(Ops, SoftmaxIsShiftInvariantAndStable) {
+  Tensor a({3}, {1000.0F, 1001.0F, 1002.0F});
+  const Tensor p = softmax(a);
+  EXPECT_NEAR(p[0] + p[1] + p[2], 1.0F, 1e-5F);
+  EXPECT_FALSE(std::isnan(p[0]));
+}
+
+TEST(Ops, ReluTanhSigmoid) {
+  Tensor x({3}, {-2.0F, 0.0F, 2.0F});
+  const Tensor r = relu(x);
+  EXPECT_EQ(r[0], 0.0F);
+  EXPECT_EQ(r[2], 2.0F);
+  const Tensor t = tanh_elem(x);
+  EXPECT_NEAR(t[2], std::tanh(2.0F), 1e-6F);
+  const Tensor s = sigmoid(x);
+  EXPECT_NEAR(s[1], 0.5F, 1e-6F);
+  EXPECT_NEAR(s[0] + s[2], 1.0F, 1e-6F);  // sigmoid symmetry
+}
+
+TEST(Ops, Normalize01) {
+  Tensor x({4}, {2, 4, 6, 10});
+  const Tensor n = normalize01(x);
+  EXPECT_FLOAT_EQ(n.min(), 0.0F);
+  EXPECT_FLOAT_EQ(n.max(), 1.0F);
+  EXPECT_FLOAT_EQ(n[1], 0.25F);
+  Tensor flat({3}, {5, 5, 5});
+  const Tensor nf = normalize01(flat);
+  EXPECT_FLOAT_EQ(nf.max(), 0.0F);
+}
+
+TEST(Ops, ToDbMonotoneWithFloor) {
+  Tensor x({3}, {0.0F, 1.0F, 10.0F});
+  const Tensor db = to_db(x, 1e-3F);
+  EXPECT_FLOAT_EQ(db[1], 0.0F);
+  EXPECT_NEAR(db[2], 20.0F, 1e-4F);
+  EXPECT_FLOAT_EQ(db[0], -60.0F);  // clamped at the floor
+}
+
+TEST(Ops, MeanRowsAndConcat) {
+  Tensor x({2, 3}, {1, 2, 3, 3, 4, 5});
+  const Tensor m = mean_rows(x);
+  EXPECT_FLOAT_EQ(m[0], 2.0F);
+  EXPECT_FLOAT_EQ(m[2], 4.0F);
+  const Tensor c = concat({Tensor({2}, {1, 2}), Tensor({1}, {3})});
+  EXPECT_EQ(c.size(), 3u);
+  EXPECT_FLOAT_EQ(c[2], 3.0F);
+}
+
+TEST(Ops, CosineAndPearson) {
+  Tensor a({3}, {1, 0, 0});
+  EXPECT_FLOAT_EQ(cosine_similarity(a, a), 1.0F);
+  Tensor b({3}, {0, 1, 0});
+  EXPECT_FLOAT_EQ(cosine_similarity(a, b), 0.0F);
+  Tensor x({4}, {1, 2, 3, 4});
+  Tensor y({4}, {2, 4, 6, 8});
+  EXPECT_NEAR(pearson_correlation(x, y), 1.0F, 1e-5F);
+  Tensor z({4}, {8, 6, 4, 2});
+  EXPECT_NEAR(pearson_correlation(x, z), -1.0F, 1e-5F);
+}
+
+}  // namespace
+}  // namespace mmhar
