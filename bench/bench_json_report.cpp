@@ -1,0 +1,87 @@
+// Machine-readable perf tracker for the two acceptance-gated hot paths.
+//
+// Emits BENCH_perf_micro.json (path overridable via argv[1]) with the
+// GEMM throughput and the per-antenna IF-synthesis time so the perf
+// trajectory is comparable across PRs without parsing google-benchmark
+// console output. Numbers are best-of-N wall time on the current
+// MMHAR_THREADS setting.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <limits>
+#include <thread>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "har/generator.h"
+#include "tensor/gemm.h"
+#include "tensor/tensor.h"
+
+namespace {
+
+using namespace mmhar;
+
+template <typename Fn>
+double best_seconds(int reps, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    const auto t0 = std::chrono::steady_clock::now();
+    fn();
+    const auto t1 = std::chrono::steady_clock::now();
+    best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_perf_micro.json";
+
+  // GEMM: square 256 product, the BM_Gemm/256 configuration.
+  const std::size_t n = 256;
+  Rng rng(2);
+  const Tensor a = Tensor::randn({n, n}, rng);
+  const Tensor b = Tensor::randn({n, n}, rng);
+  Tensor c({n, n});
+  sgemm(n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());  // warm-up
+  const double gemm_s = best_seconds(30, [&] {
+    sgemm(n, n, n, 1.0F, a.data(), b.data(), 0.0F, c.data());
+  });
+  const double gflops = 2.0 * static_cast<double>(n) * static_cast<double>(n) *
+                        static_cast<double>(n) / gemm_s / 1e9;
+
+  // IF synthesis: full activity (BM_IfSynthesisPerAntenna configuration),
+  // normalized per virtual antenna.
+  har::GeneratorConfig gc;
+  gc.environment = radar::EnvironmentKind::Hallway;
+  const har::SampleGenerator gen(gc);
+  auto cubes = gen.generate_cubes(har::SampleSpec{});  // warm-up
+  const double synth_s = best_seconds(5, [&] {
+    cubes = gen.generate_cubes(har::SampleSpec{});
+  });
+  const double s_per_antenna =
+      synth_s /
+      static_cast<double>(gen.config().radar.num_virtual_antennas);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"perf_micro\",\n"
+               "  \"threads\": %ld,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"BM_Gemm/256\": {\"seconds\": %.6e, \"gflops\": %.3f},\n"
+               "  \"BM_IfSynthesisPerAntenna\": {\"s_per_antenna\": %.6e}\n"
+               "}\n",
+               env_int("MMHAR_THREADS", 0),
+               std::thread::hardware_concurrency(), gemm_s, gflops,
+               s_per_antenna);
+  std::fclose(f);
+  std::printf("gemm256: %.3f GFLOP/s   if-synthesis: %.6f s/antenna -> %s\n",
+              gflops, s_per_antenna, out_path);
+  return 0;
+}

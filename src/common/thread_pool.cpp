@@ -6,6 +6,14 @@
 #include "common/env.h"
 
 namespace mmhar {
+namespace {
+
+thread_local bool tl_in_pool_worker = false;
+ThreadPool* g_pool_override = nullptr;
+
+}  // namespace
+
+bool ThreadPool::in_worker() { return tl_in_pool_worker; }
 
 ThreadPool::ThreadPool(std::size_t num_threads) {
   if (num_threads == 0) {
@@ -28,6 +36,7 @@ ThreadPool::~ThreadPool() {
 }
 
 void ThreadPool::worker_loop() {
+  tl_in_pool_worker = true;
   for (;;) {
     std::function<void()> task;
     {
@@ -61,6 +70,12 @@ void ThreadPool::parallel_for_chunked(
     std::size_t begin, std::size_t end,
     const std::function<void(std::size_t, std::size_t)>& fn) {
   if (begin >= end) return;
+  // Nested parallelism: a worker has no free pool thread to hand chunks
+  // to, and blocking on the queue from a worker can deadlock the pool.
+  if (tl_in_pool_worker) {
+    fn(begin, end);
+    return;
+  }
   const std::size_t n = end - begin;
   const std::size_t parts = std::min(n, size() + 1);
   if (parts <= 1) {
@@ -113,8 +128,10 @@ void ThreadPool::parallel_for_chunked(
 ThreadPool& global_pool() {
   static ThreadPool pool(
       static_cast<std::size_t>(env_int("MMHAR_THREADS", 0)));
-  return pool;
+  return g_pool_override != nullptr ? *g_pool_override : pool;
 }
+
+void set_global_pool_for_testing(ThreadPool* pool) { g_pool_override = pool; }
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {

@@ -29,9 +29,17 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
+  /// True when called from inside a pool worker thread (any pool).
+  /// parallel_for issued from a worker runs inline on that worker: the
+  /// fixed-size pool has no free thread to take nested chunks, so
+  /// enqueue-and-block from a worker can deadlock (every worker waiting
+  /// on tasks only another worker could run).
+  static bool in_worker();
+
   /// Run fn(i) for every i in [begin, end), partitioned into contiguous
   /// chunks across the pool plus the calling thread. Blocks until done.
   /// The first exception thrown by any invocation is rethrown here.
+  /// Re-entrant: nested calls from worker threads execute inline.
   void parallel_for(std::size_t begin, std::size_t end,
                     const std::function<void(std::size_t)>& fn);
 
@@ -54,6 +62,11 @@ class ThreadPool {
 
 /// Process-wide shared pool (lazily constructed, respects MMHAR_THREADS).
 ThreadPool& global_pool();
+
+/// Testing hook: route global_pool() to `pool` (nullptr restores the real
+/// one). Lets tests exercise kernels under several pool sizes in one
+/// process; not thread-safe against concurrent parallel_for callers.
+void set_global_pool_for_testing(ThreadPool* pool);
 
 /// Convenience wrapper over global_pool().parallel_for.
 void parallel_for(std::size_t begin, std::size_t end,

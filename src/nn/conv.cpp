@@ -102,12 +102,14 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
 
   Tensor output({batch, out_channels_, oh, ow});
   std::vector<float> col(fan_in * ocells);
+  // The weight matrix is replayed against every im2col'd image: pack it
+  // into microkernel panels once and reuse across the batch.
+  const PackedA wpack = pack_a(out_channels_, fan_in, weight_.data());
   for (std::size_t b = 0; b < batch; ++b) {
     im2col(input.data() + b * in_channels_ * in_h_ * in_w_, in_h_, in_w_,
            col.data());
     float* out = output.data() + b * out_channels_ * ocells;
-    sgemm(out_channels_, fan_in, ocells, 1.0F, weight_.data(), col.data(),
-          0.0F, out);
+    sgemm_packed_a(wpack, ocells, 1.0F, col.data(), 0.0F, out);
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
       const float bv = bias_[oc];
       float* plane = out + oc * ocells;
@@ -131,6 +133,8 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   Tensor grad_input({batch, in_channels_, in_h_, in_w_});
   std::vector<float> col(fan_in * ocells);
   std::vector<float> gcol(fan_in * ocells);
+  // W^T is likewise shared by every image's input-gradient product.
+  const PackedA wtpack = pack_at(fan_in, out_channels_, weight_.data());
 
   for (std::size_t b = 0; b < batch; ++b) {
     const float* gout = grad_output.data() + b * out_channels_ * ocells;
@@ -147,8 +151,7 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
     sgemm_bt(out_channels_, ocells, fan_in, 1.0F, gout, col.data(), 1.0F,
              grad_weight_.data());
     // Input gradient: gcol = W^T * gout, then scatter with col2im.
-    sgemm_at(fan_in, out_channels_, ocells, 1.0F, weight_.data(), gout, 0.0F,
-             gcol.data());
+    sgemm_packed_a(wtpack, ocells, 1.0F, gout, 0.0F, gcol.data());
     col2im(gcol.data(), in_h_, in_w_,
            grad_input.data() + b * in_channels_ * in_h_ * in_w_);
   }

@@ -1,6 +1,7 @@
 #include "radar/simulator.h"
 
 #include <cmath>
+#include <complex>
 #include <limits>
 
 #include "common/check.h"
@@ -12,6 +13,62 @@ namespace {
 constexpr double kSpeedOfLight = 299792458.0;
 constexpr double kPi = 3.14159265358979323846;
 constexpr double kFourPiSq = (4.0 * kPi) * (4.0 * kPi);
+
+// IF-synthesis kernel geometry. The per-sample phasor recurrence advances
+// kPhasorLanes independent lanes at once (lane l holds exp(i dphi (n+l)),
+// each step multiplies every lane by exp(i dphi L)), which turns the
+// serial complex-multiply chain into straight-line vectorizable code.
+constexpr std::size_t kPhasorLanes = 16;
+// Lanes are re-seeded from a double-precision anchor every
+// kRenormInterval samples, bounding single-precision magnitude/phase
+// drift regardless of num_samples.
+constexpr std::size_t kRenormInterval = 4096;
+
+// Fill tab_re/tab_im[n] = exp(i * dphi * n) for n in [0, count).
+void fill_phasor_table(std::size_t count, double dphi, float* tab_re,
+                       float* tab_im) {
+  const std::complex<double> rot1(std::cos(dphi), std::sin(dphi));
+  std::complex<double> anchor(1.0, 0.0);
+  std::complex<double> rot_interval(1.0, 0.0);
+  if (count > kRenormInterval)
+    rot_interval = std::polar(1.0, dphi * static_cast<double>(kRenormInterval));
+
+  for (std::size_t n0 = 0; n0 < count; n0 += kRenormInterval) {
+    const std::size_t nend = std::min(count, n0 + kRenormInterval);
+    // Seed the lanes (and the per-step lane rotation rot1^L) from the
+    // double-precision anchor.
+    float lane_re[kPhasorLanes];
+    float lane_im[kPhasorLanes];
+    std::complex<double> w(1.0, 0.0);
+    for (std::size_t l = 0; l < kPhasorLanes; ++l) {
+      const std::complex<double> v = anchor * w;
+      lane_re[l] = static_cast<float>(v.real());
+      lane_im[l] = static_cast<float>(v.imag());
+      w *= rot1;
+    }
+    const float rot_re = static_cast<float>(w.real());
+    const float rot_im = static_cast<float>(w.imag());
+
+    std::size_t n = n0;
+    for (; n + kPhasorLanes <= nend; n += kPhasorLanes) {
+      for (std::size_t l = 0; l < kPhasorLanes; ++l) {
+        tab_re[n + l] = lane_re[l];
+        tab_im[n + l] = lane_im[l];
+      }
+      for (std::size_t l = 0; l < kPhasorLanes; ++l) {
+        const float nr = lane_re[l] * rot_re - lane_im[l] * rot_im;
+        const float ni = lane_re[l] * rot_im + lane_im[l] * rot_re;
+        lane_re[l] = nr;
+        lane_im[l] = ni;
+      }
+    }
+    for (std::size_t l = 0; n < nend; ++n, ++l) {
+      tab_re[n] = lane_re[l];
+      tab_im[n] = lane_im[l];
+    }
+    anchor *= rot_interval;
+  }
+}
 
 }  // namespace
 
@@ -123,38 +180,70 @@ dsp::RadarCube Simulator::synthesize(const std::vector<Scatterer>& scatterers,
   for (std::size_t k = 0; k < k_n; ++k)
     antennas[k] = config_.antenna_position(k);
 
-  for (const auto& s : scatterers) {
-    const double d_tx = mesh::norm(s.position);
-    if (d_tx < 1e-6) continue;
-    // Per-chirp Doppler rotation from the radial velocity (two-way path).
-    const double dphi_q = -2.0 * kPi * f_c * (2.0 * s.radial_velocity * tc) /
-                          kSpeedOfLight;
-    const dsp::cfloat rot_q(static_cast<float>(std::cos(dphi_q)),
-                            static_cast<float>(std::sin(dphi_q)));
-    const float amp = static_cast<float>(s.amplitude);
+  // Structure-of-arrays kernel, parallel over antennas so even a single
+  // frame (the shape the Eq. 2 candidate-position search issues) uses the
+  // whole pool. One task owns a contiguous antenna range and accumulates
+  // all scatterers in their given order, so the per-element reduction
+  // order — and therefore the output — is identical for any MMHAR_THREADS.
+  if (!scatterers.empty()) {
+    global_pool().parallel_for_chunked(0, k_n, [&](std::size_t klo,
+                                                   std::size_t khi) {
+      // Split real/imag accumulation planes for this antenna's chirps,
+      // plus the per-(scatterer, antenna) sample-phasor table
+      // exp(i dphi_n n): all plain float arrays the compiler vectorizes.
+      std::vector<float> re(q_n * n_n);
+      std::vector<float> im(q_n * n_n);
+      std::vector<float> tab_re(n_n);
+      std::vector<float> tab_im(n_n);
+      for (std::size_t k = klo; k < khi; ++k) {
+        std::fill(re.begin(), re.end(), 0.0F);
+        std::fill(im.begin(), im.end(), 0.0F);
+        for (const auto& s : scatterers) {
+          const double d_tx = mesh::norm(s.position);
+          if (d_tx < 1e-6) continue;
+          // Per-chirp Doppler rotation from the radial velocity (two-way
+          // path).
+          const double dphi_q = -2.0 * kPi * f_c *
+                                (2.0 * s.radial_velocity * tc) /
+                                kSpeedOfLight;
+          const double d_rx = mesh::distance(s.position, antennas[k]);
+          const double path = d_tx + d_rx;
+          // Carrier phase (angle information) and beat step (range
+          // information).
+          const double phi0 = -2.0 * kPi * f_c * path / kSpeedOfLight;
+          const double dphi_n = 2.0 * kPi * slope * path / kSpeedOfLight * ts;
+          fill_phasor_table(n_n, dphi_n, tab_re.data(), tab_im.data());
 
-    for (std::size_t k = 0; k < k_n; ++k) {
-      const double d_rx = mesh::distance(s.position, antennas[k]);
-      const double path = d_tx + d_rx;
-      // Carrier phase (angle information) and beat step (range information).
-      const double phi0 = -2.0 * kPi * f_c * path / kSpeedOfLight;
-      const double dphi_n = 2.0 * kPi * slope * path / kSpeedOfLight * ts;
-      const dsp::cfloat rot_n(static_cast<float>(std::cos(dphi_n)),
-                              static_cast<float>(std::sin(dphi_n)));
-      dsp::cfloat chirp_base =
-          dsp::cfloat(static_cast<float>(std::cos(phi0)),
-                      static_cast<float>(std::sin(phi0))) *
-          amp;
-      for (std::size_t q = 0; q < q_n; ++q) {
-        dsp::cfloat c = chirp_base;
-        dsp::cfloat* row = cube.row(q, k);
-        for (std::size_t n = 0; n < n_n; ++n) {
-          row[n] += c;
-          c *= rot_n;
+          // The chirp base advances in double precision (drift-free for
+          // any chirp count); each chirp row is then a rank-1 complex
+          // update row[n] += base_q * tab[n] with no loop-carried
+          // dependency.
+          const std::complex<double> rot_q(std::cos(dphi_q),
+                                           std::sin(dphi_q));
+          std::complex<double> base =
+              std::polar(s.amplitude, phi0);
+          for (std::size_t q = 0; q < q_n; ++q) {
+            const float br = static_cast<float>(base.real());
+            const float bi = static_cast<float>(base.imag());
+            float* row_re = re.data() + q * n_n;
+            float* row_im = im.data() + q * n_n;
+            for (std::size_t n = 0; n < n_n; ++n) {
+              row_re[n] += br * tab_re[n] - bi * tab_im[n];
+              row_im[n] += br * tab_im[n] + bi * tab_re[n];
+            }
+            base *= rot_q;
+          }
         }
-        chirp_base *= rot_q;
+        // Interleave the planes back into the cube, one write per row.
+        for (std::size_t q = 0; q < q_n; ++q) {
+          dsp::cfloat* row = cube.row(q, k);
+          const float* row_re = re.data() + q * n_n;
+          const float* row_im = im.data() + q * n_n;
+          for (std::size_t n = 0; n < n_n; ++n)
+            row[n] = dsp::cfloat(row_re[n], row_im[n]);
+        }
       }
-    }
+    });
   }
 
   if (rng != nullptr && config_.noise_std > 0.0) {
@@ -206,13 +295,19 @@ std::vector<dsp::RadarCube> Simulator::simulate_sequence(
 
   parallel_for(0, f_n, [&](std::size_t f) {
     // Velocities come from the forward difference; the last frame reuses
-    // the backward difference so every frame has consistent Doppler.
-    const mesh::TriMesh* next =
-        f + 1 < f_n ? &dynamic_frames[f + 1] : &dynamic_frames[f - 1];
-    const double dt = f + 1 < f_n ? frame_dt : -frame_dt;
-    auto scatterers =
-        f_n == 1 ? extract_scatterers(dynamic_frames[f], nullptr, 0.0)
-                 : extract_scatterers(dynamic_frames[f], next, dt);
+    // the backward difference so every frame has consistent Doppler. A
+    // single-frame sequence has no neighbor at all — don't form
+    // &dynamic_frames[f - 1] (index -1) in that case.
+    std::vector<Scatterer> scatterers;
+    if (f_n == 1) {
+      scatterers = extract_scatterers(dynamic_frames[f], nullptr, 0.0);
+    } else {
+      const bool last = f + 1 == f_n;
+      const mesh::TriMesh* next =
+          last ? &dynamic_frames[f - 1] : &dynamic_frames[f + 1];
+      const double dt = last ? -frame_dt : frame_dt;
+      scatterers = extract_scatterers(dynamic_frames[f], next, dt);
+    }
     scatterers.insert(scatterers.end(), env.begin(), env.end());
     Rng* frame_rng = rng != nullptr ? &frame_rngs[f] : nullptr;
     cubes[f] = synthesize(scatterers, frame_rng);

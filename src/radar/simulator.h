@@ -14,10 +14,17 @@
 // between consecutive frames.
 //
 // Per-triangle contributions factorize as rank-1 phasor products over
-// (antenna, chirp, sample); the inner loops use complex rotation
-// recurrences, and frames of a sequence are distributed over the thread
-// pool. Visibility = back-face culling toward the radar plus an optional
-// coarse spherical-sector occlusion test.
+// (antenna, chirp, sample). The synthesis kernel is structure-of-arrays:
+// per (scatterer, antenna) the sample phasor exp(i dphi_n n) is tabulated
+// once with a multi-lane rotation recurrence (re-seeded from a
+// double-precision anchor every few thousand samples to bound float
+// drift), then every chirp row is a branch-free rank-1 complex update
+// against split real/imag planes. Antennas are distributed over the
+// thread pool inside a single frame, and frames of a sequence are
+// distributed over it as well (nested calls run inline); outputs are
+// bit-identical for any MMHAR_THREADS. Visibility = back-face culling
+// toward the radar plus an optional coarse spherical-sector occlusion
+// test.
 #pragma once
 
 #include <cstddef>

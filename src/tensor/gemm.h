@@ -1,12 +1,17 @@
 // Single-precision matrix multiply kernels.
 //
 // The NN library routes every dense contraction (Conv2D via im2col, Dense,
-// LSTM gate blocks) through these. The kernel is a cache-blocked triple
-// loop with a k-innermost accumulation order that auto-vectorizes well;
-// large products are split row-wise across the global thread pool.
+// LSTM gate blocks) through these. The implementation is a packed,
+// register-tiled microkernel: B is packed into cache-resident panels of
+// width kNR, A into zero-padded kMR-row tiles, and a kMR x kNR accumulator
+// tile stays in registers across each k-block so the inner loop is
+// branch-free FMA code. Large products are split across row tiles on the
+// global thread pool; the per-element reduction order is fixed by the
+// k-blocking alone, so results are bit-identical for any MMHAR_THREADS.
 #pragma once
 
 #include <cstddef>
+#include <vector>
 
 namespace mmhar {
 
@@ -16,11 +21,36 @@ void sgemm(std::size_t m, std::size_t k, std::size_t n, float alpha,
 
 /// C[m x n] += A^T[m x k] * B[k x n] where A is stored k x m (row-major).
 /// Used by backward passes that need the transpose of a stored weight.
+/// Packs A directly from the transposed storage; no materialized copy.
 void sgemm_at(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* a, const float* b, float beta, float* c);
 
 /// C[m x n] += A[m x k] * B^T[k x n] where B is stored n x k (row-major).
+/// Packs B directly from the transposed storage; no materialized copy.
 void sgemm_bt(std::size_t m, std::size_t k, std::size_t n, float alpha,
               const float* a, const float* b, float beta, float* c);
+
+/// A matrix pre-packed into the microkernel's A-tile layout (kMR-row tiles,
+/// k-major within a tile, tail rows zero-padded). Callers that multiply
+/// the same left operand against many right-hand sides — Conv2D replaying
+/// one weight matrix over every im2col'd batch image, for instance — pack
+/// once and amortize the packing traffic across all products.
+struct PackedA {
+  std::size_t m = 0;
+  std::size_t k = 0;
+  std::vector<float> data;
+};
+
+/// Pack row-major A[m x k] into microkernel tile layout.
+PackedA pack_a(std::size_t m, std::size_t k, const float* a);
+
+/// Pack A^T (logical m x k) where A is stored k x m row-major.
+PackedA pack_at(std::size_t m, std::size_t k, const float* a);
+
+/// C[a.m x n] = alpha * A * B[a.k x n] + beta * C with a pre-packed A.
+/// Bit-identical to sgemm()/sgemm_at() on the same operands for m > 1
+/// (m == 1 takes a separate single-row fast path in sgemm).
+void sgemm_packed_a(const PackedA& a, std::size_t n, float alpha,
+                    const float* b, float beta, float* c);
 
 }  // namespace mmhar
