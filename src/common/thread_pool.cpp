@@ -9,7 +9,10 @@ namespace mmhar {
 namespace {
 
 thread_local bool tl_in_pool_worker = false;
-ThreadPool* g_pool_override = nullptr;
+// Atomic so that a reader racing a test's set_global_pool_for_testing sees
+// either the old or the new pool, never a torn value (TSan-clean even when
+// tests swap pools between parallel sections).
+std::atomic<ThreadPool*> g_pool_override{nullptr};
 
 }  // namespace
 
@@ -83,13 +86,25 @@ void ThreadPool::parallel_for_chunked(
     return;
   }
 
+  // Completion protocol (the happens-before chain TSan verifies):
+  //  1. a worker's writes inside fn() happen-before its
+  //     `remaining.fetch_sub(release)`;
+  //  2. the caller's `remaining.load(acquire)` in the wait predicate
+  //     synchronizes-with every worker's fetch_sub once the count hits 0;
+  //  3. therefore all chunk side effects are visible to the caller when
+  //     parallel_for_chunked returns, and destroying `state` (stack
+  //     lifetime) cannot race a worker — the last worker only touches
+  //     `state` again under `state.mu`, which the caller must re-acquire
+  //     before its wait() returns.
+  // `error` is written under `state.mu` and read after the wait, so it is
+  // ordered by the mutex alone.
   struct State {
     std::atomic<std::size_t> remaining;
     std::mutex mu;
     std::condition_variable done_cv;
     std::exception_ptr error;
   } state;
-  state.remaining.store(parts - 1);
+  state.remaining.store(parts - 1, std::memory_order_relaxed);
 
   const std::size_t chunk = (n + parts - 1) / parts;
   // Chunks 1..parts-1 go to the pool; chunk 0 runs on the caller thread.
@@ -103,7 +118,10 @@ void ThreadPool::parallel_for_chunked(
         std::lock_guard<std::mutex> lk(state.mu);
         if (!state.error) state.error = std::current_exception();
       }
-      if (state.remaining.fetch_sub(1) == 1) {
+      if (state.remaining.fetch_sub(1, std::memory_order_release) == 1) {
+        // Lock before notifying so the caller cannot observe remaining==0,
+        // return from wait(), and destroy `state` between our decrement
+        // and the notify call.
         std::lock_guard<std::mutex> lk(state.mu);
         state.done_cv.notify_one();
       }
@@ -119,7 +137,9 @@ void ThreadPool::parallel_for_chunked(
 
   {
     std::unique_lock<std::mutex> lk(state.mu);
-    state.done_cv.wait(lk, [&state] { return state.remaining.load() == 0; });
+    state.done_cv.wait(lk, [&state] {
+      return state.remaining.load(std::memory_order_acquire) == 0;
+    });
   }
   if (caller_error) std::rethrow_exception(caller_error);
   if (state.error) std::rethrow_exception(state.error);
@@ -128,10 +148,13 @@ void ThreadPool::parallel_for_chunked(
 ThreadPool& global_pool() {
   static ThreadPool pool(
       static_cast<std::size_t>(env_int("MMHAR_THREADS", 0)));
-  return g_pool_override != nullptr ? *g_pool_override : pool;
+  ThreadPool* override_pool = g_pool_override.load(std::memory_order_acquire);
+  return override_pool != nullptr ? *override_pool : pool;
 }
 
-void set_global_pool_for_testing(ThreadPool* pool) { g_pool_override = pool; }
+void set_global_pool_for_testing(ThreadPool* pool) {
+  g_pool_override.store(pool, std::memory_order_release);
+}
 
 void parallel_for(std::size_t begin, std::size_t end,
                   const std::function<void(std::size_t)>& fn) {

@@ -5,6 +5,12 @@
 // and reused; parallel_for partitions [begin, end) into contiguous chunks
 // and blocks until all chunks complete, rethrowing the first worker
 // exception on the caller thread.
+//
+// Thread-safety contract (verified under -fsanitize=thread, see the CI
+// matrix): task hand-off is ordered by the queue mutex; chunk completion is
+// ordered by a release fetch_sub / acquire load pair on the join counter,
+// so every side effect of a chunk happens-before parallel_for returns.
+// There are no suppressed ("benign") races.
 #pragma once
 
 #include <condition_variable>

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/finite_check.h"
 
 namespace mmhar::core {
 
@@ -57,6 +58,14 @@ mesh::Vec3 weighted_geometric_median(const std::vector<mesh::Vec3>& points,
     }
     const mesh::Vec3 step = next - x;
     x = next;
+    if (finite_checks_enabled()) {
+      // A coincident point with weight ~0 or a degenerate geometry can turn
+      // the 1/d reweighting into Inf/NaN; catch the iterate the moment it
+      // leaves the finite plane instead of returning a NaN position.
+      const double iterate[3] = {x.x, x.y, x.z};
+      check_finite(std::span<const double>(iterate, 3), "weiszfeld-iterate",
+                   "weighted_geometric_median");
+    }
     if (mesh::dot(step, step) < options.tolerance) break;
   }
   return x;

@@ -81,6 +81,8 @@ void TriggerDetector::train(const har::Dataset& clean,
       for (std::size_t b = 0; b < bsz; ++b) {
         const Example& e = examples[order[start + b]];
         const Tensor& h = e.ds->sample(e.sample).heatmaps;
+        MMHAR_CHECK((e.frame + 1) * hw <= h.size() &&
+                    (b + 1) * hw <= batch.size());
         std::copy(h.data() + e.frame * hw, h.data() + (e.frame + 1) * hw,
                   batch.data() + b * hw);
         labels[b] = e.label;
@@ -95,7 +97,7 @@ void TriggerDetector::train(const har::Dataset& clean,
       ++batches;
     }
     MMHAR_LOG(Debug) << "detector epoch " << epoch + 1 << " loss "
-                     << loss_sum / std::max<std::size_t>(1, batches);
+                     << loss_sum / static_cast<double>(std::max<std::size_t>(1, batches));
   }
 }
 

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/finite_check.h"
 #include "tensor/ops.h"
 
 namespace mmhar::dsp {
@@ -64,7 +65,13 @@ RangeSpectra range_fft(const RadarCube& cube, const HeatmapConfig& cfg) {
         out.at(q, k, r) = buf[r];
     }
   }
-  if (cfg.remove_clutter) remove_static_clutter(out);
+  check_finite(std::span<const cfloat>(out.data), "RangeSpectra",
+               "range_fft/post-fft");
+  if (cfg.remove_clutter) {
+    remove_static_clutter(out);
+    check_finite(std::span<const cfloat>(out.data), "RangeSpectra",
+                 "range_fft/post-clutter-removal");
+  }
   return out;
 }
 
@@ -104,7 +111,9 @@ Tensor compute_rdi(const RadarCube& cube, const HeatmapConfig& cfg) {
         rdi.at(d, r) += std::abs(buf[d]);
     }
   }
-  return cfg.normalize ? normalize01(rdi) : rdi;
+  Tensor out = cfg.normalize ? normalize01(rdi) : std::move(rdi);
+  check_finite(out.flat(), "RDI", "compute_rdi");
+  return out;
 }
 
 Tensor compute_drai(const RadarCube& cube, const HeatmapConfig& cfg) {
@@ -127,7 +136,9 @@ Tensor compute_drai(const RadarCube& cube, const HeatmapConfig& cfg) {
     }
   }
   if (cfg.log_scale) drai = to_db(drai, cfg.db_floor);
-  return cfg.normalize ? normalize01(drai) : drai;
+  Tensor out = cfg.normalize ? normalize01(drai) : std::move(drai);
+  check_finite(out.flat(), "DRAI", "compute_drai");
+  return out;
 }
 
 Tensor range_profile(const RadarCube& cube, const HeatmapConfig& cfg) {

@@ -71,9 +71,10 @@ TrainHistory train_model(HarModel& model, const Dataset& train,
     }
 
     EpochStats stats;
-    stats.loss = static_cast<float>(loss_sum / std::max<std::size_t>(1, batches));
-    stats.accuracy =
-        static_cast<float>(acc_sum / std::max<std::size_t>(1, batches));
+    stats.loss = static_cast<float>(
+        loss_sum / static_cast<double>(std::max<std::size_t>(1, batches)));
+    stats.accuracy = static_cast<float>(
+        acc_sum / static_cast<double>(std::max<std::size_t>(1, batches)));
     if (!val_indices.empty()) {
       const Tensor vb = train.batch_of(val_indices);
       const auto vl = train.labels_of(val_indices);
@@ -102,6 +103,7 @@ std::vector<std::size_t> predict_all(HarModel& model,
     const Tensor logits =
         model.forward(dataset.batch_of(idx), /*training=*/false);
     const std::size_t classes = logits.dim(1);
+    MMHAR_CHECK(logits.size() == idx.size() * classes);
     for (std::size_t b = 0; b < idx.size(); ++b) {
       const float* row = logits.data() + b * classes;
       std::size_t best = 0;

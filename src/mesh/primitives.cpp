@@ -23,9 +23,11 @@ TriMesh make_sphere(const Vec3& center, double radius, const Material& mat,
   TriMesh m;
   // Vertex grid: (rings+1) latitude rows x segments longitudes.
   for (std::size_t i = 0; i <= rings; ++i) {
-    const double phi = kPi * static_cast<double>(i) / rings;  // 0..pi
+    const double phi =
+        kPi * static_cast<double>(i) / static_cast<double>(rings);  // 0..pi
     for (std::size_t j = 0; j < segments; ++j) {
-      const double theta = 2.0 * kPi * static_cast<double>(j) / segments;
+      const double theta =
+          2.0 * kPi * static_cast<double>(j) / static_cast<double>(segments);
       m.add_vertex(center + Vec3{radius * std::sin(phi) * std::cos(theta),
                                  radius * std::sin(phi) * std::sin(theta),
                                  radius * std::cos(phi)});
@@ -62,10 +64,11 @@ TriMesh make_capsule(const Vec3& a, const Vec3& b, double radius,
   TriMesh m;
   // Cylinder body rings.
   for (std::size_t i = 0; i <= stacks; ++i) {
-    const double t = static_cast<double>(i) / stacks;
+    const double t = static_cast<double>(i) / static_cast<double>(stacks);
     const Vec3 c = a + w * (len * t);
     for (std::size_t j = 0; j < segments; ++j) {
-      const double theta = 2.0 * kPi * static_cast<double>(j) / segments;
+      const double theta =
+          2.0 * kPi * static_cast<double>(j) / static_cast<double>(segments);
       m.add_vertex(c + (u * std::cos(theta) + v * std::sin(theta)) * radius);
     }
   }
@@ -126,8 +129,8 @@ TriMesh make_plate(const Vec3& center, const Vec3& normal,
   TriMesh m;
   for (std::size_t i = 0; i <= div; ++i) {
     for (std::size_t j = 0; j <= div; ++j) {
-      const double s = static_cast<double>(i) / div - 0.5;
-      const double t = static_cast<double>(j) / div - 0.5;
+      const double s = static_cast<double>(i) / static_cast<double>(div) - 0.5;
+      const double t = static_cast<double>(j) / static_cast<double>(div) - 0.5;
       m.add_vertex(center + right * (s * width) + up * (t * height));
     }
   }

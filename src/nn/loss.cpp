@@ -28,7 +28,7 @@ LossResult softmax_cross_entropy(const Tensor& logits,
     result.grad_logits.at(b, y) -= 1.0F;
   }
   result.grad_logits *= inv_b;
-  result.loss = static_cast<float>(loss / batch);
+  result.loss = static_cast<float>(loss / static_cast<double>(batch));
   return result;
 }
 

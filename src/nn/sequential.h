@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/finite_check.h"
 #include "nn/layer.h"
 
 namespace mmhar::nn {
@@ -33,14 +34,21 @@ class Sequential : public Layer {
 
   Tensor forward(const Tensor& input, bool training) override {
     Tensor x = input;
-    for (auto& l : layers_) x = l->forward(x, training);
+    for (auto& l : layers_) {
+      x = l->forward(x, training);
+      if (finite_checks_enabled())
+        check_finite(x.flat(), l->name().c_str(), "Sequential::forward");
+    }
     return x;
   }
 
   Tensor backward(const Tensor& grad_output) override {
     Tensor g = grad_output;
-    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it)
+    for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
       g = (*it)->backward(g);
+      if (finite_checks_enabled())
+        check_finite(g.flat(), (*it)->name().c_str(), "Sequential::backward");
+    }
     return g;
   }
 

@@ -88,6 +88,7 @@ Tensor concat(const std::vector<Tensor>& parts) {
   Tensor out({total});
   std::size_t off = 0;
   for (const auto& p : parts) {
+    MMHAR_CHECK(off + p.size() <= out.size());
     std::copy(p.data(), p.data() + p.size(), out.data() + off);
     off += p.size();
   }

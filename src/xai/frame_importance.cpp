@@ -28,6 +28,7 @@ std::vector<double> FrameImportance::shap_values(const Tensor& sample,
 
   const ValueFunction value = [&](const std::vector<bool>& mask) {
     Tensor series({1, frames, feat});
+    MMHAR_CHECK(features.size() == frames * feat && baseline.size() == feat);
     for (std::size_t t = 0; t < frames; ++t) {
       const float* src = mask[t] ? features.data() + t * feat
                                  : baseline.data();

@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/finite_check.h"
 
 namespace mmhar::xai {
 
@@ -46,6 +47,12 @@ std::vector<double> exact_shapley(std::size_t num_players,
       phi[i] += weight[size_s] * (v[with_i] - v[s]);
     }
   }
+  // A non-finite coalition value silently corrupts every phi it touches;
+  // the attack's frame ranking then becomes noise. Trip on both inputs and
+  // outputs so the offending value function is identified.
+  check_finite(std::span<const double>(v), "coalition-values",
+               "exact_shapley");
+  check_finite(std::span<const double>(phi), "shapley-phi", "exact_shapley");
   return phi;
 }
 
@@ -81,6 +88,8 @@ std::vector<double> sampling_shapley(std::size_t num_players,
 
   const double inv = 1.0 / (2.0 * static_cast<double>(num_permutations));
   for (auto& p : phi) p *= inv;
+  check_finite(std::span<const double>(phi), "shapley-phi",
+               "sampling_shapley");
   return phi;
 }
 

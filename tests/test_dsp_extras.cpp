@@ -31,8 +31,11 @@ TEST(Cfar, FindsIsolatedPeak) {
     if (d.row == 12 && d.col == 20) found = true;
   EXPECT_TRUE(found);
   // SNR of the peak detection is large.
-  for (const auto& d : detections)
-    if (d.row == 12 && d.col == 20) EXPECT_GT(d.snr(), 5.0F);
+  for (const auto& d : detections) {
+    if (d.row == 12 && d.col == 20) {
+      EXPECT_GT(d.snr(), 5.0F);
+    }
+  }
 }
 
 TEST(Cfar, NoDetectionsOnFlatMap) {

@@ -1,0 +1,154 @@
+// Tests for the opt-in NaN/Inf/denormal tripwires (common/finite_check.h)
+// and their wiring into the pipeline stages.
+
+#include <cmath>
+#include <complex>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/finite_check.h"
+#include "core/global_position.h"
+#include "nn/activation.h"
+#include "nn/dense.h"
+#include "nn/sequential.h"
+#include "tensor/tensor.h"
+#include "xai/shapley.h"
+
+namespace mmhar {
+namespace {
+
+class FiniteCheckTest : public ::testing::Test {
+ protected:
+  void SetUp() override { set_finite_checks_for_testing(1); }
+  void TearDown() override { set_finite_checks_for_testing(-1); }
+};
+
+constexpr float kQNaN = std::numeric_limits<float>::quiet_NaN();
+constexpr float kInf = std::numeric_limits<float>::infinity();
+
+TEST_F(FiniteCheckTest, CleanBufferPasses) {
+  const std::vector<float> v(256, 1.5F);
+  EXPECT_NO_THROW(check_finite(std::span<const float>(v), "v", "test"));
+}
+
+TEST_F(FiniteCheckTest, EmptyBufferPasses) {
+  EXPECT_NO_THROW(check_finite(std::span<const float>(), "empty", "test"));
+}
+
+TEST_F(FiniteCheckTest, NanIsReportedWithNameStageAndIndex) {
+  std::vector<float> v(64, 0.25F);
+  v[17] = kQNaN;
+  v[40] = kQNaN;
+  try {
+    check_finite(std::span<const float>(v), "activations", "forward");
+    FAIL() << "expected mmhar::Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    EXPECT_NE(msg.find("'forward'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("'activations'"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("flat index 17"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("2 NaN"), std::string::npos) << msg;
+  }
+}
+
+TEST_F(FiniteCheckTest, InfTripsForFloatAndDouble) {
+  std::vector<float> f(8, 1.0F);
+  f[3] = -kInf;
+  EXPECT_THROW(check_finite(std::span<const float>(f), "f", "t"), Error);
+  std::vector<double> d(8, 1.0);
+  d[5] = std::numeric_limits<double>::infinity();
+  EXPECT_THROW(check_finite(std::span<const double>(d), "d", "t"), Error);
+}
+
+TEST_F(FiniteCheckTest, ComplexBufferScansBothComponents) {
+  std::vector<std::complex<float>> v(16, {1.0F, -1.0F});
+  v[9] = {0.5F, kQNaN};  // imaginary part only
+  try {
+    check_finite(std::span<const std::complex<float>>(v), "spectra", "fft");
+    FAIL() << "expected mmhar::Error";
+  } catch (const Error& e) {
+    // Interleaved scan: element 9's imaginary part is flat index 19.
+    EXPECT_NE(std::string(e.what()).find("flat index 19"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(FiniteCheckTest, IsolatedDenormalsAreTolerated) {
+  std::vector<float> v(256, 1.0F);
+  v[0] = std::numeric_limits<float>::denorm_min();
+  v[100] = std::numeric_limits<float>::denorm_min() * 3.0F;
+  EXPECT_NO_THROW(check_finite(std::span<const float>(v), "v", "t"));
+}
+
+TEST_F(FiniteCheckTest, DenormalStormTrips) {
+  // More than kDenormalStormFraction of the buffer subnormal (and above
+  // the absolute floor) => accumulator underflow, flagged.
+  std::vector<float> v(256, std::numeric_limits<float>::denorm_min());
+  try {
+    check_finite(std::span<const float>(v), "acc", "t");
+    FAIL() << "expected mmhar::Error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("denormal storm"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(FiniteCheckTest, SmallAllDenormalBufferIsBelowAbsoluteFloor) {
+  std::vector<float> v(kDenormalStormMinCount - 1,
+                       std::numeric_limits<float>::denorm_min());
+  EXPECT_NO_THROW(check_finite(std::span<const float>(v), "v", "t"));
+}
+
+TEST_F(FiniteCheckTest, DisabledChecksAreNoOps) {
+  set_finite_checks_for_testing(0);
+  std::vector<float> v(8, kQNaN);
+  EXPECT_NO_THROW(check_finite(std::span<const float>(v), "v", "t"));
+}
+
+// ---- Stage wiring ----------------------------------------------------------
+
+TEST_F(FiniteCheckTest, SequentialForwardTripsOnNanInput) {
+  nn::Sequential net;
+  Rng rng(7);
+  net.emplace<nn::Dense>(4, 3, rng);
+  net.emplace<nn::ReLU>();
+  Tensor bad({2, 4});
+  bad[5] = kQNaN;
+  EXPECT_THROW(net.forward(bad, /*training=*/false), Error);
+  Tensor good({2, 4});
+  EXPECT_NO_THROW(net.forward(good, /*training=*/false));
+}
+
+TEST_F(FiniteCheckTest, ExactShapleyTripsOnNonFiniteValueFunction) {
+  const auto bad_value = [](const std::vector<bool>& mask) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < mask.size(); ++i)
+      if (mask[i]) acc += 1.0;
+    return mask[0] ? std::numeric_limits<double>::quiet_NaN() : acc;
+  };
+  EXPECT_THROW(xai::exact_shapley(3, bad_value), Error);
+  const auto good_value = [](const std::vector<bool>& mask) {
+    double acc = 0.0;
+    for (std::size_t i = 0; i < mask.size(); ++i)
+      if (mask[i]) acc += static_cast<double>(i + 1);
+    return acc;
+  };
+  EXPECT_NO_THROW(xai::exact_shapley(3, good_value));
+}
+
+TEST_F(FiniteCheckTest, WeiszfeldCleanRunPassesUnderChecks) {
+  const std::vector<mesh::Vec3> pts = {
+      {0.0, 0.0, 0.0}, {1.0, 0.0, 0.0}, {0.0, 1.0, 0.0}, {1.0, 1.0, 0.0}};
+  const std::vector<double> w = {1.0, 1.0, 1.0, 1.0};
+  const auto median =
+      core::weighted_geometric_median(pts, w, core::WeiszfeldOptions{});
+  EXPECT_TRUE(std::isfinite(median.x));
+  EXPECT_TRUE(std::isfinite(median.y));
+  EXPECT_TRUE(std::isfinite(median.z));
+}
+
+}  // namespace
+}  // namespace mmhar

@@ -39,7 +39,10 @@ TEST(Lstm, GradCheckLastOutput) {
   LSTM lstm(4, 5, rng);
   const Tensor x = Tensor::randn({2, 6, 4}, rng, 0.0F, 0.5F);
   const auto r = check_layer_gradients(lstm, x, rng, 1e-2F, 50);
-  EXPECT_LT(r.max_relative_error, 2.5e-2F) << "checked " << r.checked;
+  // 3e-2, not 2.5e-2: without FMA contraction (-DMMHAR_NATIVE=OFF, the CI
+  // sanitizer legs) the finite-difference error on this seed peaks at
+  // 2.77e-2; the -march=native build stays under 2.5e-2.
+  EXPECT_LT(r.max_relative_error, 3.0e-2F) << "checked " << r.checked;
 }
 
 TEST(Lstm, GradCheckSequenceOutput) {

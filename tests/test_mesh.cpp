@@ -270,7 +270,9 @@ TEST_P(AnimatorActivities, TrajectoriesAreReachableAndSmooth) {
   for (std::size_t f = 0; f < traj.size(); ++f) {
     EXPECT_LT(distance(traj[f], body.right_shoulder()), reach + 0.35)
         << "frame " << f;
-    if (f > 0) EXPECT_LT(distance(traj[f], traj[f - 1]), 0.15);
+    if (f > 0) {
+      EXPECT_LT(distance(traj[f], traj[f - 1]), 0.15);
+    }
   }
 }
 

@@ -47,6 +47,95 @@ TEST(Tensor, ReshapePreservesDataAndChecksSize) {
   EXPECT_THROW(t.reshaped({4, 2}), InvalidArgument);
 }
 
+// Every at() arity must reject both a rank mismatch and an out-of-bounds
+// index on each axis — on the mutable and the const overload. The error
+// paths are what MMHAR_CHECK buys us over raw data(); they must not rot.
+TEST(Tensor, AtRejectsWrongRankOnAllArities) {
+  Tensor r1({4});
+  Tensor r2({2, 3});
+  Tensor r3({2, 3, 4});
+  Tensor r4({2, 3, 4, 5});
+  const Tensor& c1 = r1;
+  const Tensor& c2 = r2;
+  const Tensor& c3 = r3;
+  const Tensor& c4 = r4;
+
+  // Each tensor accepts only its own arity.
+  EXPECT_THROW(r1.at(0, 0), Error);
+  EXPECT_THROW(r1.at(0, 0, 0), Error);
+  EXPECT_THROW(r1.at(0, 0, 0, 0), Error);
+  EXPECT_THROW(r2.at(0), Error);
+  EXPECT_THROW(r2.at(0, 0, 0), Error);
+  EXPECT_THROW(r2.at(0, 0, 0, 0), Error);
+  EXPECT_THROW(r3.at(0), Error);
+  EXPECT_THROW(r3.at(0, 0), Error);
+  EXPECT_THROW(r3.at(0, 0, 0, 0), Error);
+  EXPECT_THROW(r4.at(0), Error);
+  EXPECT_THROW(r4.at(0, 0), Error);
+  EXPECT_THROW(r4.at(0, 0, 0), Error);
+
+  EXPECT_THROW(c1.at(0, 0), Error);
+  EXPECT_THROW(c2.at(0), Error);
+  EXPECT_THROW(c3.at(0, 0, 0, 0), Error);
+  EXPECT_THROW(c4.at(0, 0, 0), Error);
+
+  // Rank-0 (default-constructed) accepts nothing.
+  Tensor empty;
+  EXPECT_THROW(empty.at(0), Error);
+  EXPECT_THROW(empty.at(0, 0), Error);
+  EXPECT_THROW(empty.at(0, 0, 0), Error);
+  EXPECT_THROW(empty.at(0, 0, 0, 0), Error);
+}
+
+TEST(Tensor, AtRejectsOutOfBoundsOnEveryAxis) {
+  Tensor r1({4});
+  Tensor r2({2, 3});
+  Tensor r3({2, 3, 4});
+  Tensor r4({2, 3, 4, 5});
+  const Tensor& c4 = r4;
+
+  EXPECT_THROW(r1.at(4), Error);
+  EXPECT_THROW(r2.at(2, 0), Error);
+  EXPECT_THROW(r2.at(0, 3), Error);
+  EXPECT_THROW(r3.at(2, 0, 0), Error);
+  EXPECT_THROW(r3.at(0, 3, 0), Error);
+  EXPECT_THROW(r3.at(0, 0, 4), Error);
+  EXPECT_THROW(r4.at(2, 0, 0, 0), Error);
+  EXPECT_THROW(r4.at(0, 3, 0, 0), Error);
+  EXPECT_THROW(r4.at(0, 0, 4, 0), Error);
+  EXPECT_THROW(r4.at(0, 0, 0, 5), Error);
+  EXPECT_THROW(c4.at(0, 0, 0, 5), Error);
+
+  // The exact boundary indices are valid.
+  EXPECT_NO_THROW(r1.at(3));
+  EXPECT_NO_THROW(r2.at(1, 2));
+  EXPECT_NO_THROW(r3.at(1, 2, 3));
+  EXPECT_NO_THROW(r4.at(1, 2, 3, 4));
+
+  // flat operator[] bounds.
+  EXPECT_THROW(r1[4], Error);
+  EXPECT_NO_THROW(r1[3]);
+}
+
+TEST(Tensor, ReshapeElementCountMismatchVariants) {
+  const Tensor t({2, 3, 4});
+  EXPECT_NO_THROW(t.reshaped({24}));
+  EXPECT_NO_THROW(t.reshaped({4, 3, 2}));
+  EXPECT_NO_THROW(t.reshaped({2, 2, 2, 3}));
+  EXPECT_THROW(t.reshaped({23}), InvalidArgument);
+  EXPECT_THROW(t.reshaped({2, 3}), InvalidArgument);
+  EXPECT_THROW(t.reshaped({}), InvalidArgument);       // empty shape -> 0
+  EXPECT_THROW(t.reshaped({0, 24}), InvalidArgument);  // zero-dim
+  // The thrown message names the original shape for diagnosis.
+  try {
+    t.reshaped({5, 5});
+    FAIL() << "expected InvalidArgument";
+  } catch (const InvalidArgument& e) {
+    EXPECT_NE(std::string(e.what()).find("[2, 3, 4]"), std::string::npos)
+        << e.what();
+  }
+}
+
 TEST(Tensor, Arithmetic) {
   Tensor a({3}, {1, 2, 3});
   Tensor b({3}, {10, 20, 30});

@@ -1,0 +1,444 @@
+// mmhar_lint — repo-specific static checks the generic tools can't express.
+//
+// Walks a source tree (normally src/) and flags hazards that have bitten or
+// would bite this codebase specifically:
+//
+//   banned-rng            rand()/srand()/std::random_device outside
+//                         common/rng: every stochastic draw must flow
+//                         through the seeded, forkable mmhar::Rng or
+//                         experiments stop being reproducible.
+//   naked-alloc           naked new/malloc/calloc/free: ownership is
+//                         unique_ptr/vector everywhere; a raw allocation
+//                         leaks on the exception paths MMHAR_CHECK creates.
+//   unchecked-data-arith  pointer arithmetic on .data() with no
+//                         MMHAR_CHECK/MMHAR_REQUIRE in the preceding lines:
+//                         the hot kernels may do this *after* validating
+//                         bounds, and the check must stay adjacent.
+//   parallel-ref-accum    a parallel_for/parallel_for_chunked lambda that
+//                         compound-assigns (+=, -=, *=, /=, ++, --) to a
+//                         variable it captured by reference and did not
+//                         declare itself — the classic shared-accumulator
+//                         data race.
+//   missing-pragma-once   a header whose first non-comment line is not
+//                         #pragma once.
+//
+// Suppression: append `// mmhar-lint: allow(<rule>)` to the offending line
+// (or the line above) with a short justification. Pre-existing debt lives
+// in the baseline file (tools/lint_baseline.txt): per (rule, file) counts
+// that may shrink but never grow. New violations fail the run (exit 1).
+//
+// Usage:
+//   mmhar_lint <root> [--baseline <file>] [--update-baseline]
+//
+// Run in CI and as a ctest (see tools/CMakeLists.txt).
+
+#include <algorithm>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <regex>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace fs = std::filesystem;
+
+namespace {
+
+struct Violation {
+  std::string rule;
+  std::string file;   // path relative to the scanned root
+  std::size_t line;   // 1-based
+  std::string message;
+};
+
+// ---- Small text utilities --------------------------------------------------
+
+// Strip // comments and the contents of string literals so rule regexes
+// don't fire on prose. Block comments are handled across lines via the
+// caller-maintained `in_block_comment` flag.
+std::string code_only(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false;
+  bool in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '/' && next == '/') break;
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '\'') {
+      in_char = true;
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+bool is_suppressed(const std::vector<std::string>& raw_lines, std::size_t idx,
+                   const std::string& rule) {
+  const std::string needle = "mmhar-lint: allow(" + rule + ")";
+  if (raw_lines[idx].find(needle) != std::string::npos) return true;
+  return idx > 0 && raw_lines[idx - 1].find(needle) != std::string::npos;
+}
+
+// ---- Per-file rule engine --------------------------------------------------
+
+class FileLinter {
+ public:
+  FileLinter(std::string rel_path, std::vector<std::string> raw)
+      : rel_path_(std::move(rel_path)), raw_(std::move(raw)) {
+    code_.reserve(raw_.size());
+    bool in_block = false;
+    for (const auto& l : raw_) code_.push_back(code_only(l, in_block));
+  }
+
+  std::vector<Violation> run() {
+    check_banned_rng();
+    check_naked_alloc();
+    check_unchecked_data_arith();
+    check_parallel_ref_accum();
+    check_pragma_once();
+    return std::move(found_);
+  }
+
+ private:
+  void add(const std::string& rule, std::size_t idx, std::string message) {
+    if (is_suppressed(raw_, idx, rule)) return;
+    found_.push_back({rule, rel_path_, idx + 1, std::move(message)});
+  }
+
+  void check_banned_rng() {
+    // The Rng implementation itself is the one legitimate home for raw
+    // generator machinery.
+    if (rel_path_.find("common/rng") != std::string::npos) return;
+    static const std::regex re(
+        R"((^|[^\w])(s?rand)\s*\(|random_device)");
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (std::regex_search(code_[i], re))
+        add("banned-rng", i,
+            "raw rand()/srand()/std::random_device; draw from a plumbed "
+            "mmhar::Rng (common/rng.h) so runs stay reproducible");
+    }
+  }
+
+  void check_naked_alloc() {
+    static const std::regex re(
+        R"((^|[^\w])(new\s+[A-Za-z_:][\w:<]*|malloc\s*\(|calloc\s*\(|realloc\s*\(|free\s*\())");
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (std::regex_search(code_[i], re))
+        add("naked-alloc", i,
+            "naked new/malloc; use std::make_unique / std::vector so the "
+            "MMHAR_CHECK exception paths cannot leak");
+    }
+  }
+
+  void check_unchecked_data_arith() {
+    static const std::regex re(R"(\bdata\(\)\s*\+)");
+    constexpr std::size_t kWindow = 10;  // lines of adjacency accepted
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!std::regex_search(code_[i], re)) continue;
+      bool checked = false;
+      const std::size_t lo = i >= kWindow ? i - kWindow : 0;
+      for (std::size_t j = lo; j <= i && !checked; ++j) {
+        if (code_[j].find("MMHAR_CHECK") != std::string::npos ||
+            code_[j].find("MMHAR_REQUIRE") != std::string::npos) {
+          checked = true;
+        }
+      }
+      if (!checked)
+        add("unchecked-data-arith", i,
+            "pointer arithmetic on data() with no MMHAR_CHECK/MMHAR_REQUIRE "
+            "within the preceding " + std::to_string(kWindow) + " lines");
+    }
+  }
+
+  // Heuristic shared-accumulator detector: inside a [&]-capturing lambda
+  // passed to parallel_for*, compound assignment to an identifier the
+  // lambda did not declare (and that is not the loop index) is flagged.
+  void check_parallel_ref_accum() {
+    static const std::regex call_re(R"(parallel_for(_chunked)?\s*\()");
+    static const std::regex accum_re(
+        R"(([A-Za-z_]\w*)(\s*\[[^\]]*\])?(\.\w+|->\w+)?\s*(\+=|-=|\*=|/=|\+\+|--))");
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (!std::regex_search(code_[i], call_re)) continue;
+      // Find the lambda's opening brace at or after the call, then the
+      // matching close brace (brace counting over comment-stripped code).
+      std::size_t open_line = i;
+      std::size_t open_col = std::string::npos;
+      for (std::size_t j = i; j < code_.size() && j < i + 4; ++j) {
+        const auto cap = code_[j].find('[');
+        if (cap == std::string::npos) continue;
+        const auto brace = code_[j].find('{', cap);
+        if (brace != std::string::npos) {
+          open_line = j;
+          open_col = brace;
+          break;
+        }
+      }
+      if (open_col == std::string::npos) continue;  // no lambda body found
+      // Only [&] (or [&, ...]) captures can alias shared accumulators.
+      const auto cap_start = code_[open_line].find('[');
+      const std::string cap_list = code_[open_line].substr(
+          cap_start, code_[open_line].find(']', cap_start) - cap_start);
+      if (cap_list.find('&') == std::string::npos) continue;
+
+      int depth = 0;
+      std::size_t end_line = open_line;
+      std::ostringstream body_os;
+      for (std::size_t j = open_line; j < code_.size(); ++j) {
+        const std::string& l = code_[j];
+        const std::size_t start = j == open_line ? open_col : 0;
+        bool closed = false;
+        for (std::size_t c = start; c < l.size(); ++c) {
+          if (l[c] == '{') ++depth;
+          if (l[c] == '}') {
+            --depth;
+            if (depth == 0) {
+              closed = true;
+              break;
+            }
+          }
+        }
+        body_os << l << '\n';
+        if (closed) {
+          end_line = j;
+          break;
+        }
+      }
+      const std::string body = body_os.str();
+
+      for (std::size_t j = open_line; j <= end_line; ++j) {
+        std::smatch m;
+        std::string tail = code_[j];
+        std::size_t consumed = 0;
+        while (std::regex_search(tail, m, accum_re)) {
+          const std::string name = m[1].str();
+          // `declared in the body` approximated as: some line of the body
+          // introduces `name` after a type-ish token or as a lambda param.
+          const std::regex decl_re(
+              "(auto|float|double|int|bool|unsigned|long|size_t|cfloat|"
+              "char|std::\\w+|[A-Z]\\w*)\\s*[&*]?\\s*" + name + "\\b");
+          if (!std::regex_search(body, decl_re)) {
+            add("parallel-ref-accum", j,
+                "'" + name +
+                    "' is compound-assigned inside a parallel_for [&] "
+                    "lambda but declared outside it — shared-accumulator "
+                    "race unless every index writes a distinct element; "
+                    "accumulate per chunk and combine after the join");
+            break;  // one report per line is enough
+          }
+          consumed += static_cast<std::size_t>(m.position(0) + m.length(0));
+          tail = m.suffix().str();
+          (void)consumed;
+        }
+      }
+      i = end_line;  // don't rescan the body for nested calls
+    }
+  }
+
+  void check_pragma_once() {
+    if (rel_path_.size() < 2 ||
+        rel_path_.compare(rel_path_.size() - 2, 2, ".h") != 0)
+      return;
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      std::string t = code_[i];
+      t.erase(std::remove_if(t.begin(), t.end(),
+                             [](unsigned char c) { return std::isspace(c); }),
+              t.end());
+      if (t.empty()) continue;
+      if (t != "#pragmaonce")
+        add("missing-pragma-once", i,
+            "header's first non-comment line must be #pragma once");
+      return;
+    }
+  }
+
+  std::string rel_path_;
+  std::vector<std::string> raw_;
+  std::vector<std::string> code_;
+  std::vector<Violation> found_;
+};
+
+// ---- Baseline handling -----------------------------------------------------
+
+using BaselineKey = std::pair<std::string, std::string>;  // (rule, file)
+
+std::map<BaselineKey, std::size_t> load_baseline(const fs::path& path) {
+  std::map<BaselineKey, std::size_t> baseline;
+  std::ifstream in(path);
+  if (!in) return baseline;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.empty() || line[0] == '#') continue;
+    std::istringstream is(line);
+    std::string rule, file;
+    std::size_t count = 0;
+    if (is >> rule >> file >> count) baseline[{rule, file}] = count;
+  }
+  return baseline;
+}
+
+void write_baseline(const fs::path& path,
+                    const std::map<BaselineKey, std::size_t>& counts) {
+  std::ofstream out(path);
+  out << "# mmhar_lint baseline — pre-existing (rule, file) violation "
+         "counts.\n"
+      << "# Counts may shrink (tighten this file when they do) but a count\n"
+      << "# above its baseline fails the build. Regenerate with\n"
+      << "#   mmhar_lint src --baseline tools/lint_baseline.txt "
+         "--update-baseline\n";
+  for (const auto& [key, count] : counts)
+    out << key.first << ' ' << key.second << ' ' << count << '\n';
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  fs::path root;
+  fs::path baseline_path;
+  bool update_baseline = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--update-baseline") {
+      update_baseline = true;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "usage: mmhar_lint <root> [--baseline <file>] "
+                 "[--update-baseline]\n";
+    return 2;
+  }
+  if (!fs::is_directory(root)) {
+    std::cerr << "mmhar_lint: not a directory: " << root << "\n";
+    return 2;
+  }
+
+  std::vector<Violation> violations;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+
+  for (const auto& path : files) {
+    std::ifstream in(path);
+    if (!in) {
+      std::cerr << "mmhar_lint: cannot read " << path << "\n";
+      return 2;
+    }
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    auto found =
+        FileLinter(fs::relative(path, root).generic_string(), std::move(lines))
+            .run();
+    violations.insert(violations.end(), found.begin(), found.end());
+  }
+
+  std::map<BaselineKey, std::size_t> counts;
+  for (const auto& v : violations) ++counts[{v.rule, v.file}];
+
+  if (update_baseline) {
+    if (baseline_path.empty()) {
+      std::cerr << "--update-baseline requires --baseline\n";
+      return 2;
+    }
+    write_baseline(baseline_path, counts);
+    std::cout << "mmhar_lint: baseline rewritten with " << violations.size()
+              << " violation(s) across " << counts.size() << " (rule, file) "
+              << "pair(s)\n";
+    return 0;
+  }
+
+  const auto baseline = load_baseline(baseline_path);
+  bool failed = false;
+  std::size_t waived = 0;
+  for (const auto& [key, count] : counts) {
+    const auto it = baseline.find(key);
+    const std::size_t allowed = it == baseline.end() ? 0 : it->second;
+    if (count > allowed) {
+      failed = true;
+      std::cerr << "mmhar_lint: " << key.second << ": rule '" << key.first
+                << "': " << count << " violation(s), baseline allows "
+                << allowed << ":\n";
+      for (const auto& v : violations) {
+        if (v.rule == key.first && v.file == key.second)
+          std::cerr << "  " << v.file << ":" << v.line << ": [" << v.rule
+                    << "] " << v.message << "\n";
+      }
+    } else {
+      waived += count;
+      if (count < allowed)
+        std::cout << "mmhar_lint: note: " << key.second << " '" << key.first
+                  << "' improved to " << count << " (baseline " << allowed
+                  << ") — tighten the baseline\n";
+    }
+  }
+  // Baseline entries whose file no longer violates at all.
+  for (const auto& [key, allowed] : baseline) {
+    if (allowed > 0 && counts.find(key) == counts.end())
+      std::cout << "mmhar_lint: note: stale baseline entry " << key.first
+                << " " << key.second << " (now clean)\n";
+  }
+
+  std::cout << "mmhar_lint: scanned " << files.size() << " file(s), "
+            << violations.size() << " violation(s) (" << waived
+            << " baselined)\n";
+  if (failed) {
+    std::cerr << "mmhar_lint: FAIL — fix the new violations above, add a "
+                 "`// mmhar-lint: allow(<rule>)` with a justification, or "
+                 "(for pre-existing debt only) refresh the baseline\n";
+    return 1;
+  }
+  std::cout << "mmhar_lint: OK\n";
+  return 0;
+}
