@@ -1,20 +1,26 @@
-// Machine-readable perf tracker for the two acceptance-gated hot paths.
+// Machine-readable perf tracker for the acceptance-gated hot paths.
 //
 // Emits BENCH_perf_micro.json (path overridable via argv[1]) with the
-// GEMM throughput and the per-antenna IF-synthesis time so the perf
-// trajectory is comparable across PRs without parsing google-benchmark
-// console output. Numbers are best-of-N wall time on the current
+// GEMM throughput, the per-antenna IF-synthesis time, and the batched-FFT
+// DSP pipeline figures (BM_RangeFft / BM_DraiFrame / BM_DraiSequence32)
+// so the perf trajectory is comparable across PRs without parsing
+// google-benchmark console output. The DSP sequence entry also carries
+// the speedup over a retained scalar per-transform reference (the pre-
+// engine implementation). Numbers are best-of-N wall time on the current
 // MMHAR_THREADS setting.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <limits>
 #include <thread>
 
 #include "common/env.h"
 #include "common/rng.h"
+#include "dsp/heatmap.h"
 #include "har/generator.h"
 #include "tensor/gemm.h"
+#include "tensor/ops.h"
 #include "tensor/tensor.h"
 
 namespace {
@@ -31,6 +37,76 @@ double best_seconds(int reps, Fn&& fn) {
     best = std::min(best, std::chrono::duration<double>(t1 - t0).count());
   }
   return best;
+}
+
+std::vector<dsp::RadarCube> paper_frames(std::size_t count) {
+  Rng rng(7);
+  std::vector<dsp::RadarCube> frames;
+  frames.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    dsp::RadarCube cube(16, 16, 64);
+    for (auto& v : cube.raw())
+      v = dsp::cfloat(static_cast<float>(rng.normal()),
+                      static_cast<float>(rng.normal()));
+    frames.push_back(std::move(cube));
+  }
+  return frames;
+}
+
+// Scalar per-transform DRAI sequence, structured like the pre-engine
+// implementation (one fft_inplace per row, std::abs magnitudes, serial
+// frames). Kept as the in-binary reference the speedup figure is measured
+// against.
+Tensor scalar_drai_sequence(const std::vector<dsp::RadarCube>& frames,
+                            const dsp::HeatmapConfig& cfg) {
+  const std::size_t R = cfg.range_bins;
+  const std::size_t A = cfg.angle_bins;
+  Tensor seq({frames.size(), R, A});
+  const auto range_window =
+      dsp::make_window(cfg.range_window, frames.front().num_samples());
+  for (std::size_t f = 0; f < frames.size(); ++f) {
+    const dsp::RadarCube& cube = frames[f];
+    const std::size_t n = cube.num_samples();
+    dsp::RangeSpectra s;
+    s.num_chirps = cube.num_chirps();
+    s.num_antennas = cube.num_antennas();
+    s.range_bins = R;
+    s.data.resize(s.num_chirps * s.num_antennas * R);
+    std::vector<dsp::cfloat> buf(n);
+    for (std::size_t q = 0; q < s.num_chirps; ++q) {
+      for (std::size_t k = 0; k < s.num_antennas; ++k) {
+        const dsp::cfloat* row = cube.row(q, k);
+        for (std::size_t i = 0; i < n; ++i) buf[i] = row[i] * range_window[i];
+        dsp::fft_inplace(buf);
+        for (std::size_t r = 0; r < R; ++r) s.at(q, k, r) = buf[r];
+      }
+    }
+    if (cfg.remove_clutter) {
+      for (std::size_t k = 0; k < s.num_antennas; ++k) {
+        for (std::size_t r = 0; r < R; ++r) {
+          dsp::cfloat mean{0.0F, 0.0F};
+          for (std::size_t q = 0; q < s.num_chirps; ++q) mean += s.at(q, k, r);
+          mean /= static_cast<float>(s.num_chirps);
+          for (std::size_t q = 0; q < s.num_chirps; ++q) s.at(q, k, r) -= mean;
+        }
+      }
+    }
+    std::vector<dsp::cfloat> abuf(A);
+    for (std::size_t q = 0; q < s.num_chirps; ++q) {
+      for (std::size_t r = 0; r < R; ++r) {
+        std::fill(abuf.begin(), abuf.end(), dsp::cfloat{0.0F, 0.0F});
+        for (std::size_t k = 0; k < s.num_antennas; ++k)
+          abuf[k] = s.at(q, k, r);
+        dsp::fft_inplace(abuf);
+        dsp::fftshift_inplace(std::span<dsp::cfloat>(abuf));
+        for (std::size_t a = 0; a < A; ++a)
+          seq.at(f, r, a) += std::abs(abuf[a]);
+      }
+    }
+  }
+  if (cfg.log_scale) seq = to_db(seq, cfg.db_floor);
+  if (cfg.normalize) seq = normalize01(seq);
+  return seq;
 }
 
 }  // namespace
@@ -64,6 +140,37 @@ int main(int argc, char** argv) {
       synth_s /
       static_cast<double>(gen.config().radar.num_virtual_antennas);
 
+  // Batched-FFT DSP pipeline at paper dimensions (32 frames of
+  // 16 chirps x 16 antennas x 64 samples), log-scaled DRAI sequence.
+  const auto frames = paper_frames(32);
+  dsp::HeatmapConfig hm;
+  hm.log_scale = true;
+  dsp::RangeSpectra spectra;
+  dsp::range_fft(frames[0], hm, spectra);  // warm-up (plan + window caches)
+  const double range_fft_s =
+      best_seconds(200, [&] { dsp::range_fft(frames[0], hm, spectra); });
+  Tensor drai = dsp::compute_drai(frames[0], hm);
+  const double drai_frame_s =
+      best_seconds(200, [&] { drai = dsp::compute_drai(frames[0], hm); });
+  Tensor seq = dsp::compute_drai_sequence(frames, hm);
+  const double seq_s = best_seconds(
+      20, [&] { seq = dsp::compute_drai_sequence(frames, hm); });
+  Tensor seq_ref = scalar_drai_sequence(frames, hm);
+  const double seq_scalar_s =
+      best_seconds(3, [&] { seq_ref = scalar_drai_sequence(frames, hm); });
+  // The two paths must agree (sqrt(re^2+im^2) vs std::abs differ by at
+  // most rounding); a mismatch means the engine drifted, so fail loudly.
+  double max_dev = 0.0;
+  for (std::size_t i = 0; i < seq.size(); ++i)
+    max_dev = std::max(max_dev,
+                       std::abs(static_cast<double>(seq[i] - seq_ref[i])));
+  if (max_dev > 1e-3) {
+    std::fprintf(stderr,
+                 "engine/scalar DRAI mismatch: max deviation %.3e\n", max_dev);
+    return 1;
+  }
+  const double seq_speedup = seq_scalar_s / seq_s;
+
   std::FILE* f = std::fopen(out_path, "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot open %s\n", out_path);
@@ -75,13 +182,22 @@ int main(int argc, char** argv) {
                "  \"threads\": %ld,\n"
                "  \"hardware_concurrency\": %u,\n"
                "  \"BM_Gemm/256\": {\"seconds\": %.6e, \"gflops\": %.3f},\n"
-               "  \"BM_IfSynthesisPerAntenna\": {\"s_per_antenna\": %.6e}\n"
+               "  \"BM_IfSynthesisPerAntenna\": {\"s_per_antenna\": %.6e},\n"
+               "  \"BM_RangeFft\": {\"seconds\": %.6e},\n"
+               "  \"BM_DraiFrame\": {\"seconds\": %.6e},\n"
+               "  \"BM_DraiSequence32\": {\"seconds\": %.6e, "
+               "\"scalar_reference_seconds\": %.6e, \"speedup\": %.2f}\n"
                "}\n",
                env_int("MMHAR_THREADS", 0),
                std::thread::hardware_concurrency(), gemm_s, gflops,
-               s_per_antenna);
+               s_per_antenna, range_fft_s, drai_frame_s, seq_s, seq_scalar_s,
+               seq_speedup);
   std::fclose(f);
-  std::printf("gemm256: %.3f GFLOP/s   if-synthesis: %.6f s/antenna -> %s\n",
-              gflops, s_per_antenna, out_path);
+  std::printf(
+      "gemm256: %.3f GFLOP/s   if-synthesis: %.6f s/antenna\n"
+      "range_fft: %.6f s   drai_frame: %.6f s   drai_seq32: %.6f s "
+      "(scalar %.6f s, %.1fx) -> %s\n",
+      gflops, s_per_antenna, range_fft_s, drai_frame_s, seq_s, seq_scalar_s,
+      seq_speedup, out_path);
   return 0;
 }

@@ -106,6 +106,61 @@ void BM_DraiPipeline(benchmark::State& state) {
 }
 BENCHMARK(BM_DraiPipeline);
 
+// Paper-dimension radar cubes (16 chirps x 16 virtual antennas x 64 ADC
+// samples) filled with noise — the DSP stages see the same shapes as the
+// real pipeline without paying mesh/simulator time.
+std::vector<dsp::RadarCube> paper_frames(std::size_t count) {
+  Rng rng(7);
+  std::vector<dsp::RadarCube> frames;
+  frames.reserve(count);
+  for (std::size_t f = 0; f < count; ++f) {
+    dsp::RadarCube cube(16, 16, 64);
+    for (auto& v : cube.raw())
+      v = dsp::cfloat(static_cast<float>(rng.normal()),
+                      static_cast<float>(rng.normal()));
+    frames.push_back(std::move(cube));
+  }
+  return frames;
+}
+
+void BM_RangeFft(benchmark::State& state) {
+  const auto frames = paper_frames(1);
+  const dsp::HeatmapConfig cfg;
+  dsp::RangeSpectra spectra;
+  for (auto _ : state) {
+    dsp::range_fft(frames[0], cfg, spectra);
+    benchmark::DoNotOptimize(spectra.data.data());
+  }
+}
+BENCHMARK(BM_RangeFft);
+
+void BM_DraiFrame(benchmark::State& state) {
+  const auto frames = paper_frames(1);
+  dsp::HeatmapConfig cfg;
+  cfg.log_scale = true;
+  for (auto _ : state) {
+    auto hm = dsp::compute_drai(frames[0], cfg);
+    benchmark::DoNotOptimize(hm.data());
+  }
+}
+BENCHMARK(BM_DraiFrame);
+
+// Acceptance-gated end-to-end DSP figure: a full 32-frame activity through
+// Range-FFT + clutter removal + angle FFT + dB + sequence normalization.
+void BM_DraiSequence32(benchmark::State& state) {
+  const auto frames = paper_frames(32);
+  dsp::HeatmapConfig cfg;
+  cfg.log_scale = true;
+  for (auto _ : state) {
+    auto seq = dsp::compute_drai_sequence(frames, cfg);
+    benchmark::DoNotOptimize(seq.data());
+  }
+  state.counters["frames/s"] = benchmark::Counter(
+      32.0 * static_cast<double>(state.iterations()),
+      benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_DraiSequence32)->Unit(benchmark::kMillisecond);
+
 har::HarModelConfig bench_model_config() {
   har::HarModelConfig mc;
   mc.conv1_channels = 6;

@@ -66,19 +66,35 @@ int main() {
   Rng rng(1);
   const dsp::RadarCube cube = sim.synthesize(targets, &rng);
 
+  // One Range-FFT pass, three views: DRAI, RDI, and the range profile are
+  // all derived from the same RangeSpectra instead of re-running the FFT
+  // chain per heatmap.
   dsp::HeatmapConfig hm;
   hm.remove_clutter = false;
-  print_heatmap(dsp::compute_drai(cube, hm),
-                "\nDRAI (range down, angle across), clutter kept:");
+  dsp::RangeSpectra spectra = dsp::range_fft(cube, hm);
 
-  hm.remove_clutter = true;
-  print_heatmap(dsp::compute_drai(cube, hm),
+  const Tensor profile = dsp::range_profile(spectra);
+  std::printf("\nrange profile (one bar per range bin):\n  ");
+  const float pmax = profile.max() > 0 ? profile.max() : 1.0F;
+  for (std::size_t r = 0; r < profile.size(); ++r) {
+    static const char* shades = " .:-=+*#%@";
+    const int idx =
+        std::min(9, static_cast<int>(profile[r] / pmax * 10.0F));
+    std::putchar(shades[idx]);
+  }
+  std::putchar('\n');
+
+  print_heatmap(dsp::compute_drai(spectra, hm),
+                "\nDRAI (range down, angle across), clutter kept:");
+  print_heatmap(dsp::compute_rdi(spectra, hm),
+                "\nRDI (Doppler down: top=approaching, bottom=receding):");
+
+  // Clutter removal happens on the spectra, so the MTI view reuses the
+  // same Range-FFT output too.
+  dsp::remove_static_clutter(spectra);
+  print_heatmap(dsp::compute_drai(spectra, hm),
                 "\nDRAI after MTI clutter removal (static center target "
                 "vanishes):");
-
-  hm.remove_clutter = false;
-  print_heatmap(dsp::compute_rdi(cube, hm),
-                "\nRDI (Doppler down: top=approaching, bottom=receding):");
 
   std::printf("\nNow with a person: simulate a Push gesture "
               "and watch the moving hand sweep through range bins.\n");

@@ -88,14 +88,18 @@ void ThreadPool::parallel_for_chunked(
 
   // Completion protocol (the happens-before chain TSan verifies):
   //  1. a worker's writes inside fn() happen-before its
-  //     `remaining.fetch_sub(release)`;
-  //  2. the caller's `remaining.load(acquire)` in the wait predicate
-  //     synchronizes-with every worker's fetch_sub once the count hits 0;
-  //  3. therefore all chunk side effects are visible to the caller when
-  //     parallel_for_chunked returns, and destroying `state` (stack
-  //     lifetime) cannot race a worker — the last worker only touches
-  //     `state` again under `state.mu`, which the caller must re-acquire
-  //     before its wait() returns.
+  //     `remaining.fetch_sub(acq_rel)`; the acq_rel RMW chain makes every
+  //     earlier worker's effects visible to whichever worker decrements
+  //     the count to zero;
+  //  2. only that last worker touches `done`: it sets it (and notifies)
+  //     while holding `state.mu`, and never touches `state` after
+  //     releasing the lock;
+  //  3. the caller's wait predicate reads `done` under the same mutex, so
+  //     it cannot return — and destroy the stack-allocated `state` —
+  //     until the last worker has released `state.mu` for the final time.
+  // The predicate must NOT read the atomic counter: the caller could then
+  // observe zero (and free `state`) in the window between the last
+  // worker's decrement and its mutex acquisition.
   // `error` is written under `state.mu` and read after the wait, so it is
   // ordered by the mutex alone.
   struct State {
@@ -103,6 +107,7 @@ void ThreadPool::parallel_for_chunked(
     std::mutex mu;
     std::condition_variable done_cv;
     std::exception_ptr error;
+    bool done = false;
   } state;
   state.remaining.store(parts - 1, std::memory_order_relaxed);
 
@@ -118,11 +123,11 @@ void ThreadPool::parallel_for_chunked(
         std::lock_guard<std::mutex> lk(state.mu);
         if (!state.error) state.error = std::current_exception();
       }
-      if (state.remaining.fetch_sub(1, std::memory_order_release) == 1) {
-        // Lock before notifying so the caller cannot observe remaining==0,
-        // return from wait(), and destroy `state` between our decrement
-        // and the notify call.
+      if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        // Set the flag and notify under the lock: the caller can only wake
+        // and destroy `state` after this thread releases `state.mu`.
         std::lock_guard<std::mutex> lk(state.mu);
+        state.done = true;
         state.done_cv.notify_one();
       }
     });
@@ -137,9 +142,7 @@ void ThreadPool::parallel_for_chunked(
 
   {
     std::unique_lock<std::mutex> lk(state.mu);
-    state.done_cv.wait(lk, [&state] {
-      return state.remaining.load(std::memory_order_acquire) == 0;
-    });
+    state.done_cv.wait(lk, [&state] { return state.done; });
   }
   if (caller_error) std::rethrow_exception(caller_error);
   if (state.error) std::rethrow_exception(state.error);

@@ -1,15 +1,19 @@
 #include "dsp/fft.h"
 
+#include <algorithm>
 #include <cmath>
 #include <map>
 #include <mutex>
+#include <shared_mutex>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace mmhar::dsp {
 namespace {
 
 constexpr double kPi = 3.14159265358979323846;
+constexpr std::size_t kLanes = kFftManyLanes;
 
 struct Plan {
   std::vector<std::size_t> bit_reverse;  // permutation indices
@@ -40,13 +44,127 @@ Plan build_plan(std::size_t n) {
   return plan;
 }
 
+// Read-mostly plan cache. Lookups take a shared lock only; a miss builds
+// the plan OUTSIDE any lock (two threads racing first-use of different
+// sizes never serialize each other) and then inserts under the exclusive
+// lock — try_emplace discards the duplicate if another thread won the
+// race. std::map nodes are address-stable, so returned references survive
+// later insertions.
 const Plan& plan_for(std::size_t n) {
-  static std::mutex mu;
+  static std::shared_mutex mu;
   static std::map<std::size_t, Plan> plans;
-  std::lock_guard<std::mutex> lk(mu);
-  auto it = plans.find(n);
-  if (it == plans.end()) it = plans.emplace(n, build_plan(n)).first;
-  return it->second;
+  {
+    std::shared_lock<std::shared_mutex> lk(mu);
+    const auto it = plans.find(n);
+    if (it != plans.end()) return it->second;
+  }
+  Plan built = build_plan(n);
+  std::unique_lock<std::shared_mutex> lk(mu);
+  return plans.try_emplace(n, std::move(built)).first->second;
+}
+
+// Per-thread SoA scratch for the batched engine: re/im hold one lane block
+// in element-major order (re[j * kLanes + l]), acc holds the running
+// magnitude sum for the mag-accum emitter. Grown on demand, never shrunk,
+// reused across every fft_many* call on the thread — the engine performs
+// no per-call allocation.
+struct Workspace {
+  std::vector<float> re;
+  std::vector<float> im;
+  std::vector<float> acc;
+
+  void ensure(std::size_t n, bool want_acc) {
+    const std::size_t need = n * kLanes;
+    if (re.size() < need) {
+      re.resize(need);
+      im.resize(need);
+    }
+    if (want_acc && acc.size() < need) acc.resize(need);
+  }
+};
+
+Workspace& tls_workspace() {
+  thread_local Workspace ws;
+  return ws;
+}
+
+// Gather one lane block into bit-reversed SoA scratch, fusing the window
+// multiply and the zero-padding. Lanes [nl, kLanes) are zero-filled so the
+// butterfly loops always run the full fixed width (no garbage values, no
+// denormal stalls, branch-free inner loops).
+void load_block(const FftManyJob& job, const Plan& plan, std::size_t rep,
+                std::size_t lane0, std::size_t nl, float* re, float* im) {
+  const cfloat* base =
+      job.in + rep * job.in_rep_stride + lane0 * job.in_lane_stride;
+  for (std::size_t j = 0; j < job.n; ++j) {
+    float* r = re + plan.bit_reverse[j] * kLanes;
+    float* q = im + plan.bit_reverse[j] * kLanes;
+    if (j < job.in_len) {
+      const float w = job.window != nullptr ? job.window[j] : 1.0F;
+      const cfloat* src = base + j * job.in_elem_stride;
+      if (job.in_lane_stride == 1) {
+        for (std::size_t l = 0; l < nl; ++l) {
+          r[l] = src[l].real() * w;
+          q[l] = src[l].imag() * w;
+        }
+      } else {
+        for (std::size_t l = 0; l < nl; ++l) {
+          const cfloat v = src[l * job.in_lane_stride];
+          r[l] = v.real() * w;
+          q[l] = v.imag() * w;
+        }
+      }
+      for (std::size_t l = nl; l < kLanes; ++l) {
+        r[l] = 0.0F;
+        q[l] = 0.0F;
+      }
+    } else {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        r[l] = 0.0F;
+        q[l] = 0.0F;
+      }
+    }
+  }
+}
+
+// Radix-2 butterflies over the whole block; the twiddle is a scalar
+// broadcast and the inner loop sweeps the kLanes contiguous lanes, which
+// is the SIMD axis. The per-transform operation order is identical to
+// fft_inplace, so a lane's spectrum is bit-identical to the scalar path.
+void butterflies(const Plan& plan, std::size_t n, float* re, float* im) {
+  std::size_t tw_off = 0;
+  for (std::size_t m = 2; m <= n; m <<= 1) {
+    const std::size_t half = m / 2;
+    for (std::size_t start = 0; start < n; start += m) {
+      for (std::size_t j = 0; j < half; ++j) {
+        const cfloat w = plan.twiddles[tw_off + j];
+        const float wr = w.real();
+        const float wi = w.imag();
+        float* ar = re + (start + j) * kLanes;
+        float* ai = im + (start + j) * kLanes;
+        float* br = re + (start + j + half) * kLanes;
+        float* bi = im + (start + j + half) * kLanes;
+        for (std::size_t l = 0; l < kLanes; ++l) {
+          const float tr = wr * br[l] - wi * bi[l];
+          const float ti = wr * bi[l] + wi * br[l];
+          br[l] = ar[l] - tr;
+          bi[l] = ai[l] - ti;
+          ar[l] += tr;
+          ai[l] += ti;
+        }
+      }
+    }
+    tw_off += half;
+  }
+}
+
+void validate_job(const FftManyJob& job) {
+  MMHAR_REQUIRE(is_power_of_two(job.n),
+                "fft_many length must be a power of two, got " << job.n);
+  MMHAR_REQUIRE(job.in != nullptr, "fft_many: null input");
+  MMHAR_REQUIRE(job.lanes > 0 && job.reps > 0, "fft_many: empty batch");
+  MMHAR_REQUIRE(job.in_len > 0 && job.in_len <= job.n,
+                "fft_many: in_len must be in (0, n], got " << job.in_len);
 }
 
 }  // namespace
@@ -126,6 +244,83 @@ void fftshift_inplace(std::span<float> data) {
   const std::size_t n = data.size();
   MMHAR_REQUIRE(n % 2 == 0, "fftshift needs even length");
   for (std::size_t i = 0; i < n / 2; ++i) std::swap(data[i], data[i + n / 2]);
+}
+
+void fft_many_crop(const FftManyJob& job, std::size_t keep, cfloat* out,
+                   std::size_t out_lane_stride,
+                   std::size_t out_elem_stride) {
+  validate_job(job);
+  MMHAR_REQUIRE(job.reps == 1, "fft_many_crop: accumulation axis unsupported");
+  MMHAR_REQUIRE(keep > 0 && keep <= job.n,
+                "fft_many_crop: keep must be in (0, n]");
+  MMHAR_REQUIRE(out != nullptr, "fft_many_crop: null output");
+
+  const Plan& plan = plan_for(job.n);
+  const std::size_t blocks = (job.lanes + kLanes - 1) / kLanes;
+  // Lane blocks are fixed-size and independent, so the result does not
+  // depend on how parallel_for partitions them across threads.
+  parallel_for(0, blocks, [&](std::size_t b) {
+    Workspace& ws = tls_workspace();
+    ws.ensure(job.n, false);
+    const std::size_t lane0 = b * kLanes;
+    const std::size_t nl = std::min(kLanes, job.lanes - lane0);
+    load_block(job, plan, 0, lane0, nl, ws.re.data(), ws.im.data());
+    butterflies(plan, job.n, ws.re.data(), ws.im.data());
+    const float* re = ws.re.data();
+    const float* im = ws.im.data();
+    for (std::size_t l = 0; l < nl; ++l) {
+      cfloat* dst = out + (lane0 + l) * out_lane_stride;
+      for (std::size_t j = 0; j < keep; ++j)
+        dst[j * out_elem_stride] = cfloat(re[j * kLanes + l],
+                                          im[j * kLanes + l]);
+    }
+  });
+}
+
+void fft_many(const FftManyJob& job, cfloat* out, std::size_t out_lane_stride,
+              std::size_t out_elem_stride) {
+  fft_many_crop(job, job.n, out, out_lane_stride, out_elem_stride);
+}
+
+void fft_many_mag_accum(const FftManyJob& job, bool shift, float* out,
+                        std::size_t out_lane_stride,
+                        std::size_t out_elem_stride) {
+  validate_job(job);
+  MMHAR_REQUIRE(out != nullptr, "fft_many_mag_accum: null output");
+
+  const Plan& plan = plan_for(job.n);
+  const std::size_t blocks = (job.lanes + kLanes - 1) / kLanes;
+  parallel_for(0, blocks, [&](std::size_t b) {
+    Workspace& ws = tls_workspace();
+    ws.ensure(job.n, true);
+    const std::size_t lane0 = b * kLanes;
+    const std::size_t nl = std::min(kLanes, job.lanes - lane0);
+    float* acc = ws.acc.data();
+    const std::size_t total = job.n * kLanes;
+    // The rep axis folds serially in index order, so the accumulated sum
+    // has one fixed rounding order regardless of thread count.
+    for (std::size_t rep = 0; rep < job.reps; ++rep) {
+      load_block(job, plan, rep, lane0, nl, ws.re.data(), ws.im.data());
+      butterflies(plan, job.n, ws.re.data(), ws.im.data());
+      const float* re = ws.re.data();
+      const float* im = ws.im.data();
+      if (rep == 0) {
+        for (std::size_t i = 0; i < total; ++i)
+          acc[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+      } else {
+        for (std::size_t i = 0; i < total; ++i)
+          acc[i] += std::sqrt(re[i] * re[i] + im[i] * im[i]);
+      }
+    }
+    const std::size_t half = job.n / 2;
+    for (std::size_t l = 0; l < nl; ++l) {
+      float* dst = out + (lane0 + l) * out_lane_stride;
+      for (std::size_t p = 0; p < job.n; ++p) {
+        const std::size_t bin = shift ? (p + half) % job.n : p;
+        dst[p * out_elem_stride] = acc[bin * kLanes + l];
+      }
+    }
+  });
 }
 
 }  // namespace mmhar::dsp

@@ -1,9 +1,24 @@
-// Iterative radix-2 complex FFT with cached twiddle tables.
+// Iterative radix-2 complex FFT with cached twiddle tables, plus a batched
+// multi-transform engine (`fft_many*`) that executes N same-size transforms
+// over strided data with the SIMD lanes running *across the batch
+// dimension*.
 //
 // All radar processing dimensions (ADC samples, chirps, angle padding) are
 // powers of two, so a radix-2 kernel suffices. Twiddle factors and the
-// bit-reversal permutation are computed once per size and shared behind a
-// mutex; the transform itself is lock-free.
+// bit-reversal permutation are computed once per size and published through
+// a read-mostly plan cache (`std::shared_mutex`; plans are built outside
+// the lock so concurrent first-use of two sizes never serializes). The
+// transforms themselves are lock-free and allocation-free: each worker
+// thread keeps a reusable split real/imag scratch workspace.
+//
+// Batched layout: a block of up to `kFftManyLanes` transforms is loaded
+// into element-major SoA scratch (`re[j * L + l]`, lane l = transform
+// lane0 + l), so every butterfly's inner loop is a contiguous fixed-width
+// sweep over lanes — straight-line auto-vectorizable code, one 512-bit
+// vector per operand on AVX-512. Window application, zero-padding, and the
+// bit-reversal permutation are fused into the load; cropping, fftshift,
+// and |.| accumulation are fused into the store, so the heatmap pipeline
+// never materializes an intermediate spectrum it does not keep.
 #pragma once
 
 #include <complex>
@@ -14,6 +29,10 @@
 namespace mmhar::dsp {
 
 using cfloat = std::complex<float>;
+
+/// Transforms per SIMD block of the batched engine (16 floats = one
+/// AVX-512 register per re/im operand; two on AVX2).
+inline constexpr std::size_t kFftManyLanes = 16;
 
 /// True if n is a power of two (and nonzero).
 bool is_power_of_two(std::size_t n);
@@ -38,5 +57,49 @@ void fftshift_inplace(std::span<cfloat> data);
 
 /// fftshift for real-valued magnitude vectors.
 void fftshift_inplace(std::span<float> data);
+
+/// One batched-FFT job: `lanes` independent length-`n` transforms (each
+/// with its own output), optionally repeated `reps` times along an
+/// accumulation axis that the magnitude emitter folds in a fixed serial
+/// order (rep 0 first), so results are bit-identical for any thread count.
+///
+/// Element j of transform (rep, lane) is read from
+///   in[rep * in_rep_stride + lane * in_lane_stride + j * in_elem_stride]
+/// for j < in_len; elements in [in_len, n) are zero (zero-padded FFT).
+/// When `window` is non-null it has length `in_len` and is applied during
+/// the load.
+struct FftManyJob {
+  std::size_t n = 0;            ///< transform length, power of two
+  const cfloat* in = nullptr;   ///< base of the input array
+  std::size_t in_len = 0;       ///< elements read per transform (<= n)
+  const float* window = nullptr;  ///< optional, length in_len
+  std::size_t lanes = 0;        ///< number of independent transforms
+  std::size_t in_lane_stride = 0;
+  std::size_t in_elem_stride = 1;
+  std::size_t reps = 1;         ///< accumulation depth (mag-accum only)
+  std::size_t in_rep_stride = 0;
+};
+
+/// Execute the batch and store the full complex spectra:
+///   out[lane * out_lane_stride + j * out_elem_stride] = X_lane[j].
+/// Requires job.reps == 1.
+void fft_many(const FftManyJob& job, cfloat* out, std::size_t out_lane_stride,
+              std::size_t out_elem_stride);
+
+/// As fft_many but keeps only the first `keep` bins of every spectrum
+/// (the range-FFT crop). Requires job.reps == 1 and keep <= n.
+void fft_many_crop(const FftManyJob& job, std::size_t keep, cfloat* out,
+                   std::size_t out_lane_stride, std::size_t out_elem_stride);
+
+/// Execute the batch and store magnitudes summed over the rep axis:
+///   out[lane * out_lane_stride + p * out_elem_stride]
+///       = sum_{rep} |X_{rep,lane}[bin(p)]|
+/// where bin(p) = (p + n/2) mod n when `shift` is set (fftshifted output)
+/// and p otherwise. Magnitude is sqrt(re^2 + im^2) evaluated in float
+/// (vectorizable; the pipeline's dynamic range is far from float
+/// overflow). Existing `out` contents are overwritten, not added to.
+void fft_many_mag_accum(const FftManyJob& job, bool shift, float* out,
+                        std::size_t out_lane_stride,
+                        std::size_t out_elem_stride);
 
 }  // namespace mmhar::dsp

@@ -85,6 +85,11 @@ struct RangeSpectra {
 /// Stage 1+2: windowed Range-FFT and (optionally) static clutter removal.
 RangeSpectra range_fft(const RadarCube& cube, const HeatmapConfig& cfg);
 
+/// As above, but reuses `out`'s storage (no allocation once it has grown
+/// to size) — the form the sequence builders and other hot loops use.
+void range_fft(const RadarCube& cube, const HeatmapConfig& cfg,
+               RangeSpectra& out);
+
 /// Subtract the across-chirp mean per (antenna, range) cell — removes
 /// returns from static objects (walls, furniture, torso at rest).
 void remove_static_clutter(RangeSpectra& spectra);
@@ -93,17 +98,40 @@ void remove_static_clutter(RangeSpectra& spectra);
 /// zero velocity is the center row. Magnitudes are summed over antennas.
 Tensor compute_rdi(const RadarCube& cube, const HeatmapConfig& cfg);
 
+/// Spectra-reuse form: RDI from already-computed range spectra. Running
+/// compute_rdi + compute_drai + range_profile over the same cube through
+/// one range_fft() result executes the Range-FFT once instead of three
+/// times.
+Tensor compute_rdi(const RangeSpectra& spectra, const HeatmapConfig& cfg);
+
 /// Dynamic Range-Angle Image: [range_bins x angle_bins]; angle axis is the
 /// fftshifted zero-padded FFT across the virtual ULA, magnitudes summed
 /// over chirps after clutter removal.
 Tensor compute_drai(const RadarCube& cube, const HeatmapConfig& cfg);
 
+/// Spectra-reuse form of compute_drai.
+Tensor compute_drai(const RangeSpectra& spectra, const HeatmapConfig& cfg);
+
 /// Non-coherent range profile (magnitude summed over chirps and antennas).
 Tensor range_profile(const RadarCube& cube, const HeatmapConfig& cfg);
+
+/// Spectra-reuse form of range_profile.
+Tensor range_profile(const RangeSpectra& spectra);
+
+/// Stage 1+2 for a whole activity: per-frame range spectra, threaded over
+/// frames. The result can feed compute_drai_sequence and the per-frame
+/// spectra overloads without re-running any Range-FFT.
+std::vector<RangeSpectra> compute_range_spectra(
+    const std::vector<RadarCube>& frames, const HeatmapConfig& cfg);
 
 /// Process a whole activity (sequence of frames) into DRAI heatmaps:
 /// returns a [frames x range_bins x angle_bins] tensor.
 Tensor compute_drai_sequence(const std::vector<RadarCube>& frames,
+                             const HeatmapConfig& cfg);
+
+/// Spectra-reuse form of compute_drai_sequence (frames already through the
+/// Range-FFT stage).
+Tensor compute_drai_sequence(const std::vector<RangeSpectra>& frames,
                              const HeatmapConfig& cfg);
 
 }  // namespace mmhar::dsp

@@ -26,20 +26,27 @@ Tensor doppler_spectrum(const RadarCube& cube,
   const std::size_t r_hi = std::min(config.max_range_bin, spectra.range_bins);
   MMHAR_REQUIRE(r_lo < r_hi, "range gate outside the cropped range window");
 
-  const auto window = make_window(config.window, q_total);
+  // Batched Doppler FFT over the range gate: one transform per gated range
+  // bin, antennas folded as the engine's accumulation axis. The per-bin
+  // shifted magnitudes land in `gated` and are reduced serially so the
+  // result is deterministic.
+  const std::size_t nr = r_hi - r_lo;
+  FftManyJob job;
+  job.n = d_bins;
+  job.in = spectra.data.data() + r_lo;
+  job.in_len = q_total;
+  job.window = cached_window(config.window, q_total).data();
+  job.lanes = nr;
+  job.in_lane_stride = 1;
+  job.in_elem_stride = spectra.num_antennas * spectra.range_bins;
+  job.reps = spectra.num_antennas;
+  job.in_rep_stride = spectra.range_bins;
+  Tensor gated({nr, d_bins});
+  fft_many_mag_accum(job, /*shift=*/true, gated.data(), d_bins, 1);
+
   Tensor spectrum({d_bins});
-  std::vector<cfloat> buf(d_bins);
-  for (std::size_t k = 0; k < spectra.num_antennas; ++k) {
-    for (std::size_t r = r_lo; r < r_hi; ++r) {
-      std::fill(buf.begin(), buf.end(), cfloat{0.0F, 0.0F});
-      for (std::size_t q = 0; q < q_total; ++q)
-        buf[q] = spectra.at(q, k, r) * window[q];
-      fft_inplace(buf);
-      fftshift_inplace(std::span<cfloat>(buf));
-      for (std::size_t d = 0; d < d_bins; ++d)
-        spectrum[d] += std::abs(buf[d]);
-    }
-  }
+  for (std::size_t r = 0; r < nr; ++r)
+    for (std::size_t d = 0; d < d_bins; ++d) spectrum[d] += gated.at(r, d);
   return spectrum;
 }
 

@@ -1,6 +1,10 @@
 #include "dsp/window.h"
 
 #include <cmath>
+#include <map>
+#include <mutex>
+#include <shared_mutex>
+#include <utility>
 
 #include "common/check.h"
 
@@ -35,6 +39,21 @@ std::vector<float> make_window(WindowKind kind, std::size_t n) {
     w[i] = static_cast<float>(v);
   }
   return w;
+}
+
+const std::vector<float>& cached_window(WindowKind kind, std::size_t n) {
+  using Key = std::pair<int, std::size_t>;
+  static std::shared_mutex mu;
+  static std::map<Key, std::vector<float>> cache;
+  const Key key{static_cast<int>(kind), n};
+  {
+    std::shared_lock<std::shared_mutex> lk(mu);
+    const auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+  }
+  std::vector<float> built = make_window(kind, n);  // outside the lock
+  std::unique_lock<std::shared_mutex> lk(mu);
+  return cache.try_emplace(key, std::move(built)).first->second;
 }
 
 float coherent_gain(const std::vector<float>& window) {

@@ -11,6 +11,11 @@ enum class WindowKind { Rect, Hann, Hamming, Blackman };
 /// Sample a window of the given kind and length.
 std::vector<float> make_window(WindowKind kind, std::size_t n);
 
+/// Shared read-mostly cache over make_window for the hot processing chain
+/// (one table per (kind, n), built outside the lock on first use). The
+/// returned reference stays valid for the program lifetime.
+const std::vector<float>& cached_window(WindowKind kind, std::size_t n);
+
 /// Coherent gain (mean of the window), for amplitude compensation.
 float coherent_gain(const std::vector<float>& window);
 

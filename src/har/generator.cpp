@@ -115,4 +115,13 @@ Tensor SampleGenerator::generate(const SampleSpec& spec,
   return dsp::compute_drai_sequence(cubes, config_.heatmap);
 }
 
+SampleViews SampleGenerator::generate_views(
+    const SampleSpec& spec, const TriggerPlacement* trigger) const {
+  const auto cubes = generate_cubes(spec, trigger);
+  SampleViews views;
+  views.spectra = dsp::compute_range_spectra(cubes, config_.heatmap);
+  views.heatmaps = dsp::compute_drai_sequence(views.spectra, config_.heatmap);
+  return views;
+}
+
 }  // namespace mmhar::har

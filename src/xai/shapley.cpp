@@ -78,11 +78,12 @@ std::vector<double> sampling_shapley(std::size_t num_players,
     }
   };
 
+  std::vector<std::size_t> rev(num_players);  // reused across permutations
   for (std::size_t n = 0; n < num_permutations; ++n) {
     rng.shuffle(perm);
     accumulate_permutation(perm);
     // Antithetic pair: the reversed permutation (variance reduction).
-    std::vector<std::size_t> rev(perm.rbegin(), perm.rend());
+    std::copy(perm.rbegin(), perm.rend(), rev.begin());
     accumulate_permutation(rev);
   }
 

@@ -117,6 +117,202 @@ TEST(Fft, FftShiftSwapsHalves) {
   EXPECT_THROW(fftshift_inplace(std::span<float>(odd)), InvalidArgument);
 }
 
+// ---- Batched engine (fft_many) vs the naive DFT oracle ---------------------
+
+// Every transform size the pipeline actually issues: doppler bins (16),
+// angle bins (32), ADC samples (64), plus one larger size for coverage.
+class FftManySizes : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(FftManySizes, ContiguousLanesMatchNaiveDft) {
+  const std::size_t n = GetParam();
+  const std::size_t lanes = 21;  // deliberately not a multiple of the SIMD width
+  const auto data = random_signal(n * lanes, n);
+
+  std::vector<cfloat> out(n * lanes);
+  FftManyJob job;
+  job.n = n;
+  job.in = data.data();
+  job.in_len = n;
+  job.lanes = lanes;
+  job.in_lane_stride = n;
+  job.in_elem_stride = 1;
+  fft_many(job, out.data(), n, 1);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    const std::vector<cfloat> x(data.begin() + static_cast<std::ptrdiff_t>(l * n),
+                                data.begin() + static_cast<std::ptrdiff_t>((l + 1) * n));
+    const auto slow = dft_reference(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[l * n + i].real(), slow[i].real(), 1e-2F)
+          << "lane " << l << " bin " << i;
+      EXPECT_NEAR(out[l * n + i].imag(), slow[i].imag(), 1e-2F)
+          << "lane " << l << " bin " << i;
+    }
+  }
+}
+
+TEST_P(FftManySizes, InterleavedSoALayoutMatchesContiguous) {
+  // Same transforms, but laid out element-major (lane stride 1) the way
+  // the doppler/angle stages read RangeSpectra; outputs must agree.
+  const std::size_t n = GetParam();
+  const std::size_t lanes = 7;
+  const auto rows = random_signal(n * lanes, n + 3);
+
+  std::vector<cfloat> soa(n * lanes);
+  for (std::size_t l = 0; l < lanes; ++l)
+    for (std::size_t j = 0; j < n; ++j) soa[j * lanes + l] = rows[l * n + j];
+
+  std::vector<cfloat> out_rows(n * lanes);
+  FftManyJob row_job;
+  row_job.n = n;
+  row_job.in = rows.data();
+  row_job.in_len = n;
+  row_job.lanes = lanes;
+  row_job.in_lane_stride = n;
+  row_job.in_elem_stride = 1;
+  fft_many(row_job, out_rows.data(), n, 1);
+
+  std::vector<cfloat> out_soa(n * lanes);
+  FftManyJob soa_job = row_job;
+  soa_job.in = soa.data();
+  soa_job.in_lane_stride = 1;
+  soa_job.in_elem_stride = lanes;
+  fft_many(soa_job, out_soa.data(), 1, lanes);
+
+  for (std::size_t l = 0; l < lanes; ++l)
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_EQ(out_soa[i * lanes + l].real(), out_rows[l * n + i].real());
+      EXPECT_EQ(out_soa[i * lanes + l].imag(), out_rows[l * n + i].imag());
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, FftManySizes,
+                         ::testing::Values(16, 32, 64, 128));
+
+TEST(FftMany, WindowAndZeroPadFuseIntoTheLoad) {
+  // 16 antennas zero-padded to a 32-bin angle FFT with a Hann taper: the
+  // fused path must match windowing + padding done by hand.
+  const std::size_t in_len = 16;
+  const std::size_t n = 32;
+  const std::size_t lanes = 5;
+  const auto data = random_signal(in_len * lanes, 9);
+  const auto w = make_window(WindowKind::Hann, in_len);
+
+  std::vector<cfloat> out(n * lanes);
+  FftManyJob job;
+  job.n = n;
+  job.in = data.data();
+  job.in_len = in_len;
+  job.window = w.data();
+  job.lanes = lanes;
+  job.in_lane_stride = in_len;
+  job.in_elem_stride = 1;
+  fft_many(job, out.data(), n, 1);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    std::vector<cfloat> x(n, cfloat{0.0F, 0.0F});
+    for (std::size_t j = 0; j < in_len; ++j)
+      x[j] = data[l * in_len + j] * w[j];
+    const auto slow = dft_reference(x);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(out[l * n + i].real(), slow[i].real(), 1e-2F);
+      EXPECT_NEAR(out[l * n + i].imag(), slow[i].imag(), 1e-2F);
+    }
+  }
+}
+
+TEST(FftMany, CropKeepsTheLeadingBins) {
+  const std::size_t n = 64;
+  const std::size_t keep = 32;  // the pipeline's range_bins crop
+  const std::size_t lanes = 3;
+  const auto data = random_signal(n * lanes, 11);
+
+  FftManyJob job;
+  job.n = n;
+  job.in = data.data();
+  job.in_len = n;
+  job.lanes = lanes;
+  job.in_lane_stride = n;
+  job.in_elem_stride = 1;
+
+  std::vector<cfloat> full(n * lanes);
+  fft_many(job, full.data(), n, 1);
+  std::vector<cfloat> cropped(keep * lanes);
+  fft_many_crop(job, keep, cropped.data(), keep, 1);
+
+  for (std::size_t l = 0; l < lanes; ++l)
+    for (std::size_t i = 0; i < keep; ++i) {
+      EXPECT_EQ(cropped[l * keep + i].real(), full[l * n + i].real());
+      EXPECT_EQ(cropped[l * keep + i].imag(), full[l * n + i].imag());
+    }
+}
+
+TEST(FftMany, MagAccumMatchesShiftedMagnitudeSum) {
+  // reps-fold accumulation with fftshift, exactly what the RDI/DRAI
+  // builders issue: |FFT| summed over the fold axis, zero bin centered.
+  const std::size_t n = 16;
+  const std::size_t lanes = 6;
+  const std::size_t reps = 4;
+  const auto data = random_signal(n * lanes * reps, 13);
+  const auto w = make_window(WindowKind::Hamming, n);
+
+  FftManyJob job;
+  job.n = n;
+  job.in = data.data();
+  job.in_len = n;
+  job.window = w.data();
+  job.lanes = lanes;
+  job.in_lane_stride = n;
+  job.in_elem_stride = 1;
+  job.reps = reps;
+  job.in_rep_stride = n * lanes;
+
+  std::vector<float> out(n * lanes, -1.0F);  // must be overwritten, not added
+  fft_many_mag_accum(job, /*shift=*/true, out.data(), n, 1);
+
+  for (std::size_t l = 0; l < lanes; ++l) {
+    std::vector<float> expect(n, 0.0F);
+    for (std::size_t rep = 0; rep < reps; ++rep) {
+      std::vector<cfloat> x(n);
+      for (std::size_t j = 0; j < n; ++j)
+        x[j] = data[rep * n * lanes + l * n + j] * w[j];
+      const auto X = dft_reference(x);
+      std::vector<float> mag(n);
+      for (std::size_t i = 0; i < n; ++i) mag[i] = std::abs(X[i]);
+      fftshift_inplace(std::span<float>(mag));
+      for (std::size_t i = 0; i < n; ++i) expect[i] += mag[i];
+    }
+    for (std::size_t i = 0; i < n; ++i)
+      EXPECT_NEAR(out[l * n + i], expect[i], 5e-2F)
+          << "lane " << l << " bin " << i;
+  }
+}
+
+TEST(FftMany, RejectsInvalidJobs) {
+  std::vector<cfloat> in(12);
+  std::vector<cfloat> out(12);
+  FftManyJob job;
+  job.n = 12;  // not a power of two
+  job.in = in.data();
+  job.in_len = 12;
+  job.lanes = 1;
+  job.in_lane_stride = 12;
+  EXPECT_THROW(fft_many(job, out.data(), 12, 1), InvalidArgument);
+  job.n = 8;
+  job.in_len = 12;  // longer than the transform
+  EXPECT_THROW(fft_many(job, out.data(), 8, 1), InvalidArgument);
+}
+
+TEST(Window, CachedWindowMatchesMakeWindow) {
+  const auto& cached = cached_window(WindowKind::Blackman, 48);
+  const auto fresh = make_window(WindowKind::Blackman, 48);
+  ASSERT_EQ(cached.size(), fresh.size());
+  for (std::size_t i = 0; i < fresh.size(); ++i)
+    EXPECT_EQ(cached[i], fresh[i]);
+  // Same (kind, n) must come back as the same table (stable reference).
+  EXPECT_EQ(&cached, &cached_window(WindowKind::Blackman, 48));
+}
+
 TEST(Window, RectIsAllOnes) {
   const auto w = make_window(WindowKind::Rect, 8);
   for (const float v : w) EXPECT_EQ(v, 1.0F);

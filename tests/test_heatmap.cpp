@@ -7,6 +7,8 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
 #include "dsp/heatmap.h"
 
 namespace mmhar::dsp {
@@ -207,6 +209,86 @@ TEST(DraiSequence, StacksFramesAndNormalizesGlobally) {
     m2 = std::max(m2, seq[2 * 32 * 32 + i]);
   }
   EXPECT_GT(m2, m0);
+}
+
+// ---- Spectra-reuse path ----------------------------------------------------
+
+std::vector<RadarCube> noisy_frames(std::size_t count, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<RadarCube> frames;
+  for (std::size_t f = 0; f < count; ++f) {
+    RadarCube cube(16, 16, 64);
+    inject_target(cube, 8.0 + static_cast<double>(f), 0.2, 0.15);
+    for (auto& v : cube.raw())
+      v += cfloat(static_cast<float>(0.05 * rng.normal()),
+                  static_cast<float>(0.05 * rng.normal()));
+    frames.push_back(std::move(cube));
+  }
+  return frames;
+}
+
+void expect_identical(const Tensor& a, const Tensor& b, const char* what) {
+  ASSERT_EQ(a.shape(), b.shape()) << what;
+  for (std::size_t i = 0; i < a.size(); ++i)
+    ASSERT_EQ(a[i], b[i]) << what << " diverges at flat index " << i;
+}
+
+TEST(SpectraReuse, AllViewsMatchTheCubeOverloads) {
+  // One range_fft feeding RDI + DRAI + profile must reproduce the
+  // cube-input overloads bit for bit.
+  const auto frames = noisy_frames(1, 42);
+  const RadarCube& cube = frames.front();
+  auto cfg = test_config();
+  cfg.remove_clutter = true;
+  const RangeSpectra spectra = range_fft(cube, cfg);
+
+  expect_identical(compute_rdi(spectra, cfg), compute_rdi(cube, cfg), "RDI");
+  expect_identical(compute_drai(spectra, cfg), compute_drai(cube, cfg),
+                   "DRAI");
+  expect_identical(range_profile(spectra), range_profile(cube, cfg),
+                   "range profile");
+}
+
+TEST(SpectraReuse, SequenceFromSpectraMatchesSequenceFromCubes) {
+  const auto frames = noisy_frames(4, 43);
+  auto cfg = test_config();
+  cfg.remove_clutter = true;
+  cfg.normalize = true;
+  cfg.log_scale = true;
+  const auto spectra = compute_range_spectra(frames, cfg);
+  ASSERT_EQ(spectra.size(), frames.size());
+  expect_identical(compute_drai_sequence(spectra, cfg),
+                   compute_drai_sequence(frames, cfg), "DRAI sequence");
+}
+
+// ---- Bit-identity across thread counts -------------------------------------
+
+struct PoolOverride {
+  explicit PoolOverride(ThreadPool* p) { set_global_pool_for_testing(p); }
+  ~PoolOverride() { set_global_pool_for_testing(nullptr); }
+};
+
+TEST(ThreadIdentity, HeatmapsBitIdenticalForAnyPoolSize) {
+  const auto frames = noisy_frames(3, 44);
+  auto cfg = test_config();
+  cfg.remove_clutter = true;
+  cfg.normalize = true;
+  cfg.log_scale = true;
+
+  // Reference under the default (MMHAR_THREADS-driven) pool.
+  const Tensor seq_ref = compute_drai_sequence(frames, cfg);
+  const Tensor rdi_ref = compute_rdi(frames.front(), cfg);
+  const Tensor drai_ref = compute_drai(frames.front(), cfg);
+
+  for (const std::size_t workers : {1u, 2u, 8u}) {
+    ThreadPool pool(workers);
+    PoolOverride guard(&pool);
+    SCOPED_TRACE(testing::Message() << "pool size " << workers);
+    expect_identical(compute_drai_sequence(frames, cfg), seq_ref,
+                     "DRAI sequence");
+    expect_identical(compute_rdi(frames.front(), cfg), rdi_ref, "RDI");
+    expect_identical(compute_drai(frames.front(), cfg), drai_ref, "DRAI");
+  }
 }
 
 TEST(Heatmap, ConfigValidation) {

@@ -21,6 +21,11 @@
 //                         data race.
 //   missing-pragma-once   a header whose first non-comment line is not
 //                         #pragma once.
+//   loop-alloc            a std:: container declared by value inside a
+//                         for/while body: each iteration pays a heap
+//                         allocation. Hoist the container out of the loop
+//                         and reuse it (assign/clear), as the DSP and
+//                         Shapley hot paths do.
 //
 // Suppression: append `// mmhar-lint: allow(<rule>)` to the offending line
 // (or the line above) with a short justification. Pre-existing debt lives
@@ -136,6 +141,7 @@ class FileLinter {
     check_naked_alloc();
     check_unchecked_data_arith();
     check_parallel_ref_accum();
+    check_loop_alloc();
     check_pragma_once();
     return std::move(found_);
   }
@@ -272,6 +278,48 @@ class FileLinter {
         }
       }
       i = end_line;  // don't rescan the body for nested calls
+    }
+  }
+
+  // Per-iteration heap allocation: a by-value std:: container declared
+  // inside a for/while body. Brace counting tracks which scopes are loop
+  // bodies; a `;` at paren depth 0 before any `{` ends a braceless loop.
+  void check_loop_alloc() {
+    static const std::regex loop_re(R"((^|[^\w])(for|while)\s*\()");
+    static const std::regex decl_re(
+        R"(\bstd::(vector|string|deque|list|map|unordered_map|set|unordered_set)\s*(<[^;{}]*>)?\s+[A-Za-z_]\w*\s*[({=;])");
+    std::vector<int> loop_body_depth;  // brace depth of each open loop body
+    int depth = 0;
+    int paren = 0;
+    bool pending_loop = false;  // saw for/while; waiting for its body
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      const std::string& l = code_[i];
+      if (!loop_body_depth.empty() && std::regex_search(l, decl_re)) {
+        add("loop-alloc", i,
+            "std:: container constructed inside a loop body — one heap "
+            "allocation per iteration; hoist it out and reuse "
+            "(assign/clear) instead");
+      }
+      if (std::regex_search(l, loop_re)) pending_loop = true;
+      for (const char c : l) {
+        if (c == '(') {
+          ++paren;
+        } else if (c == ')') {
+          --paren;
+        } else if (c == '{') {
+          ++depth;
+          if (pending_loop && paren == 0) {
+            loop_body_depth.push_back(depth);
+            pending_loop = false;
+          }
+        } else if (c == '}') {
+          if (!loop_body_depth.empty() && loop_body_depth.back() == depth)
+            loop_body_depth.pop_back();
+          --depth;
+        } else if (c == ';' && paren == 0 && pending_loop) {
+          pending_loop = false;  // braceless single-statement loop
+        }
+      }
     }
   }
 
