@@ -11,6 +11,7 @@
 #pragma once
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -34,13 +35,39 @@ inline Scenario make_scenario(mesh::Activity victim, mesh::Activity target) {
   return s;
 }
 
+/// Parse a comma-separated numeric list from an env var ("0.1,0.2,0.4");
+/// unset/empty/unparseable falls back to the default grid.
+inline std::vector<double> env_double_list(const char* name,
+                                           std::vector<double> fallback) {
+  const std::string raw = env_string(name, "");
+  if (raw.empty()) return fallback;
+  std::vector<double> out;
+  std::size_t pos = 0;
+  while (pos <= raw.size()) {
+    const std::size_t comma = raw.find(',', pos);
+    const std::string tok =
+        raw.substr(pos, comma == std::string::npos ? std::string::npos
+                                                   : comma - pos);
+    char* end = nullptr;
+    const double v = std::strtod(tok.c_str(), &end);
+    if (end != tok.c_str()) out.push_back(v);
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out.empty() ? fallback : out;
+}
+
 /// Default sweep grids (paper sweeps injection rate at 8 frames and frame
-/// count at rate 0.4).
+/// count at rate 0.4); override via MMHAR_RATES / MMHAR_FRAMES.
 inline std::vector<double> default_rates() {
-  return {0.1, 0.2, 0.3, 0.4};
+  return env_double_list("MMHAR_RATES", {0.1, 0.2, 0.3, 0.4});
 }
 inline std::vector<std::size_t> default_frame_counts() {
-  return {2, 4, 8, 12};
+  const auto raw = env_double_list("MMHAR_FRAMES", {2, 4, 8, 12});
+  std::vector<std::size_t> counts;
+  for (const double v : raw)
+    if (v >= 1.0) counts.push_back(static_cast<std::size_t>(v));
+  return counts.empty() ? std::vector<std::size_t>{2, 4, 8, 12} : counts;
 }
 
 inline void print_run_config(const core::ExperimentSetup& setup) {
@@ -61,7 +88,39 @@ inline void print_sweep_row(const std::string& scenario, double axis_value,
   std::printf("%-28s %8.2f %8.1f %8.1f %8.1f %8.1f\n", scenario.c_str(),
               axis_value, 100.0 * s.mean.asr, 100.0 * s.mean.uasr,
               100.0 * s.mean.cdr, 100.0 * s.stddev.asr);
+  if (s.failed_repeats > 0) {
+    std::printf("# ^ %zu/%zu repeats failed: %s\n", s.failed_repeats,
+                s.repeats,
+                s.errors.empty() ? "unknown" : s.errors.front().c_str());
+  }
   std::fflush(stdout);
+}
+
+inline void print_failed_row(const std::string& scenario, double axis_value,
+                             const std::string& error) {
+  std::printf("%-28s %8.2f   FAILED  (%s)\n", scenario.c_str(), axis_value,
+              error.c_str());
+  std::fflush(stdout);
+}
+
+/// One sweep point at the runner boundary: a point whose every repeat
+/// failed (or that threw outside the per-repeat recovery, e.g. while
+/// planning) prints a FAILED row and the sweep continues.
+inline void run_sweep_point(core::AttackExperiment& experiment,
+                            const std::string& name, double axis_value,
+                            const core::AttackPoint& point) {
+  try {
+    const auto summary = experiment.run_point(point);
+    if (!summary.ok()) {
+      print_failed_row(name, axis_value,
+                       summary.errors.empty() ? "all repeats failed"
+                                              : summary.errors.front());
+      return;
+    }
+    print_sweep_row(name, axis_value, summary);
+  } catch (const Error& e) {
+    print_failed_row(name, axis_value, e.what());
+  }
 }
 
 /// Sweep injection rate for each scenario (figures 8a-c, 10a-c, 12a-c).
@@ -73,8 +132,7 @@ inline void run_injection_sweep(core::AttackExperiment& experiment,
     for (const double rate : default_rates()) {
       core::AttackPoint point = scenario.point;
       point.injection_rate = rate;
-      const auto summary = experiment.run_point(point);
-      print_sweep_row(scenario.name, rate, summary);
+      run_sweep_point(experiment, scenario.name, rate, point);
     }
   }
 }
@@ -88,8 +146,8 @@ inline void run_frames_sweep(core::AttackExperiment& experiment,
     for (const std::size_t frames : default_frame_counts()) {
       core::AttackPoint point = scenario.point;
       point.poisoned_frames = frames;
-      const auto summary = experiment.run_point(point);
-      print_sweep_row(scenario.name, static_cast<double>(frames), summary);
+      run_sweep_point(experiment, scenario.name,
+                      static_cast<double>(frames), point);
     }
   }
 }

@@ -1,0 +1,234 @@
+#include "common/artifact_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/fault_injection.h"
+#include "common/hash.h"
+#include "common/logging.h"
+
+namespace mmhar {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Header: store magic, store version, kind magic, kind version, payload
+// length. Trailer: payload checksum.
+constexpr std::size_t kHeaderBytes = 4 * sizeof(std::uint32_t) + sizeof(std::uint64_t);
+constexpr std::size_t kTrailerBytes = sizeof(std::uint64_t);
+
+std::uint64_t payload_checksum(const std::string& payload) {
+  Hasher h;
+  h.mix_bytes(payload.data(), payload.size());
+  return h.value();
+}
+
+// Flush a freshly written file (and its directory entry) to stable
+// storage. Best effort: an fsync failure degrades durability, not
+// correctness, so it is logged rather than thrown.
+void sync_path(const std::string& path, bool directory) {
+  const int flags = directory ? (O_RDONLY | O_DIRECTORY) : O_RDONLY;
+  const int fd = ::open(path.c_str(), flags);
+  if (fd < 0) return;
+  if (::fsync(fd) != 0)
+    MMHAR_LOG(Warn) << "fsync failed for " << path << " (continuing)";
+  ::close(fd);
+}
+
+std::string parent_dir(const std::string& path) {
+  const auto parent = fs::path(path).parent_path();
+  return parent.empty() ? std::string(".") : parent.string();
+}
+
+LoadResult corrupt(const std::string& path, std::string detail) {
+  LoadResult r;
+  r.status = LoadStatus::Corrupt;
+  r.detail = std::move(detail);
+  r.quarantined_to = quarantine_file(path);
+  MMHAR_LOG(Warn) << "artifact " << path << " is corrupt (" << r.detail
+                  << ")"
+                  << (r.quarantined_to.empty()
+                          ? ""
+                          : ", quarantined to " + r.quarantined_to);
+  return r;
+}
+
+}  // namespace
+
+const char* load_status_name(LoadStatus s) {
+  switch (s) {
+    case LoadStatus::Ok: return "ok";
+    case LoadStatus::Missing: return "missing";
+    case LoadStatus::VersionMismatch: return "version-mismatch";
+    case LoadStatus::Corrupt: return "corrupt";
+  }
+  return "?";
+}
+
+std::string quarantine_file(const std::string& path) {
+  std::error_code ec;
+  if (!fs::exists(path, ec)) return "";
+  const std::string target = path + ".corrupt";
+  fs::rename(path, target, ec);
+  if (!ec) return target;
+  // Cross-device or permission trouble: removing still unblocks
+  // regeneration, which is the property recovery depends on.
+  fs::remove(path, ec);
+  return "";
+}
+
+void save_artifact(const std::string& path, std::uint32_t kind_magic,
+                   std::uint32_t kind_version,
+                   const std::function<void(BinaryWriter&)>& write_payload) {
+  // Serialize the payload to memory first so the checksum and length are
+  // known before any byte reaches disk.
+  std::ostringstream payload_os(std::ios::binary);
+  {
+    BinaryWriter w(payload_os);
+    write_payload(w);
+  }
+  std::string payload = payload_os.str();
+  const std::uint64_t checksum = payload_checksum(payload);
+
+  // Injected post-commit corruption: these simulate on-disk damage (a
+  // torn page, a flipped bit) that a *successful* write later suffers, so
+  // they corrupt the image while keeping the checksum of the clean
+  // payload — the loader must catch the mismatch.
+  bool truncate_final = false;
+  std::uint64_t truncate_to = 0;
+  if (!payload.empty() && fault_should_fire("artifact.truncate")) {
+    truncate_final = true;
+    truncate_to = fault_draw(kHeaderBytes + payload.size());
+  }
+  if (!payload.empty() && fault_should_fire("artifact.bitflip")) {
+    const std::uint64_t bit = fault_draw(8 * payload.size());
+    payload[static_cast<std::size_t>(bit / 8)] ^=
+        static_cast<char>(1U << (bit % 8));
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::binary | std::ios::trunc);
+    if (!os) throw IoError("save_artifact: cannot open " + tmp);
+    BinaryWriter w(os);
+    w.write_u32(kStoreMagic);
+    w.write_u32(kStoreFormatVersion);
+    w.write_u32(kind_magic);
+    w.write_u32(kind_version);
+    w.write_u64(payload.size());
+    if (fault_should_fire("artifact.short_write")) {
+      // A write that dies partway: half the payload lands, then the
+      // "disk" gives out. The temp file stays behind; the final path is
+      // untouched.
+      os.write(payload.data(),
+               static_cast<std::streamsize>(payload.size() / 2));
+      os.flush();
+      throw IoError("save_artifact: injected short write on " + tmp);
+    }
+    os.write(payload.data(), static_cast<std::streamsize>(payload.size()));
+    w.write_u64(checksum);
+    os.flush();
+    if (!os) throw IoError("save_artifact: write failed on " + tmp);
+  }
+  sync_path(tmp, /*directory=*/false);
+
+  if (fault_should_fire("artifact.rename_fail")) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw IoError("save_artifact: injected rename failure for " + path);
+  }
+
+  std::error_code ec;
+  fs::rename(tmp, path, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw IoError("save_artifact: rename to " + path + " failed: " +
+                  ec.message());
+  }
+  sync_path(parent_dir(path), /*directory=*/true);
+
+  if (truncate_final) {
+    fs::resize_file(path, truncate_to, ec);
+    if (ec)
+      MMHAR_LOG(Warn) << "fault injection: resize_file failed: "
+                      << ec.message();
+  }
+}
+
+LoadResult load_artifact(
+    const std::string& path, std::uint32_t kind_magic,
+    std::uint32_t kind_version,
+    const std::function<void(BinaryReader&)>& read_payload) {
+  if (!file_exists(path)) {
+    LoadResult r;
+    r.status = LoadStatus::Missing;
+    r.detail = "no file at " + path;
+    return r;
+  }
+
+  std::string bytes;
+  {
+    std::ifstream is(path, std::ios::binary);
+    if (!is) return corrupt(path, "cannot open for read");
+    std::ostringstream buf(std::ios::binary);
+    buf << is.rdbuf();
+    if (is.bad()) return corrupt(path, "read failed");
+    bytes = buf.str();
+  }
+
+  if (bytes.size() < kHeaderBytes + kTrailerBytes)
+    return corrupt(path, "file shorter than container header+trailer");
+
+  std::uint32_t magic = 0, store_version = 0, kind = 0, version = 0;
+  std::uint64_t payload_len = 0;
+  const char* p = bytes.data();
+  std::memcpy(&magic, p, 4);
+  std::memcpy(&store_version, p + 4, 4);
+  std::memcpy(&kind, p + 8, 4);
+  std::memcpy(&version, p + 12, 4);
+  std::memcpy(&payload_len, p + 16, 8);
+
+  if (magic != kStoreMagic)
+    return corrupt(path, "bad store magic (pre-store or foreign file)");
+  if (kind != kind_magic) return corrupt(path, "wrong artifact kind");
+  if (store_version != kStoreFormatVersion || version != kind_version) {
+    LoadResult r;
+    r.status = LoadStatus::VersionMismatch;
+    std::ostringstream os;
+    os << "store v" << store_version << " kind v" << version << ", expected v"
+       << kStoreFormatVersion << "/v" << kind_version;
+    r.detail = os.str();
+    MMHAR_LOG(Warn) << "artifact " << path << ": " << r.detail;
+    return r;
+  }
+  if (payload_len != bytes.size() - kHeaderBytes - kTrailerBytes)
+    return corrupt(path, "payload length disagrees with file size");
+  MMHAR_CHECK(bytes.size() == kHeaderBytes + payload_len + kTrailerBytes);
+
+  const std::string payload = bytes.substr(kHeaderBytes,
+                                           static_cast<std::size_t>(payload_len));
+  std::uint64_t stored_checksum = 0;
+  std::memcpy(&stored_checksum, bytes.data() + kHeaderBytes + payload_len, 8);
+  if (stored_checksum != payload_checksum(payload))
+    return corrupt(path, "checksum mismatch");
+
+  try {
+    std::istringstream is(payload, std::ios::binary);
+    BinaryReader r(is, payload.size());
+    read_payload(r);
+  } catch (const Error& e) {
+    return corrupt(path, std::string("payload deserialization failed: ") +
+                             e.what());
+  }
+
+  LoadResult r;
+  r.status = LoadStatus::Ok;
+  return r;
+}
+
+}  // namespace mmhar

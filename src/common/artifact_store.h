@@ -1,0 +1,84 @@
+// Crash-safe, checksummed on-disk artifacts (datasets, models,
+// checkpoints).
+//
+// Every cache write in the repo goes through `save_artifact`:
+//
+//   payload -> [header | payload | checksum] -> <path>.tmp
+//           -> flush + fsync -> atomic rename(<path>.tmp, <path>)
+//
+// so a reader never observes a half-written file at the final path — a
+// killed writer leaves at worst a stale `.tmp` that the next successful
+// save overwrites. The container format is
+//
+//   u32 store magic 'MART'    (0x5452414D)
+//   u32 store format version  (kStoreFormatVersion)
+//   u32 kind magic            (caller-chosen, e.g. 'HSDS' for datasets)
+//   u32 kind version          (caller-chosen payload schema version)
+//   u64 payload length        (bytes)
+//   ..payload..
+//   u64 FNV-1a checksum over the payload bytes
+//
+// `load_artifact` verifies all of the above before the payload callback
+// runs, and classifies failures instead of crashing:
+//
+//   Missing          no file at `path` (nothing is touched)
+//   VersionMismatch  intact container, wrong store/kind version — the
+//                    file is left in place for a newer/older binary
+//   Corrupt          anything else (bad magic, bad length, checksum
+//                    mismatch, payload deserialization failure) — the
+//                    file is quarantined as `<path>.corrupt` so the next
+//                    write can regenerate cleanly and a human can autopsy
+//
+// Deterministic durability faults (truncation, bit-flip, short write,
+// failed rename) can be injected at named sites via
+// common/fault_injection.h; see that header for the site list.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/serialize.h"
+
+namespace mmhar {
+
+inline constexpr std::uint32_t kStoreMagic = 0x5452414D;  // "MART"
+inline constexpr std::uint32_t kStoreFormatVersion = 1;
+
+enum class LoadStatus {
+  Ok,
+  Missing,
+  VersionMismatch,
+  Corrupt,
+};
+
+const char* load_status_name(LoadStatus s);
+
+/// Structured outcome of `load_artifact`.
+struct LoadResult {
+  LoadStatus status = LoadStatus::Missing;
+  std::string detail;          ///< human-readable failure reason
+  std::string quarantined_to;  ///< non-empty when the file was moved aside
+
+  bool ok() const { return status == LoadStatus::Ok; }
+};
+
+/// Serialize `write_payload`'s output into `path` atomically (temp file +
+/// flush + fsync + rename). Throws IoError when the write itself fails;
+/// the final path then still holds its previous content (or nothing).
+void save_artifact(const std::string& path, std::uint32_t kind_magic,
+                   std::uint32_t kind_version,
+                   const std::function<void(BinaryWriter&)>& write_payload);
+
+/// Verify and deserialize `path`. `read_payload` runs only after the
+/// container checks pass; an IoError / Error it throws is reported as
+/// Corrupt (with quarantine), never propagated.
+LoadResult load_artifact(const std::string& path, std::uint32_t kind_magic,
+                         std::uint32_t kind_version,
+                         const std::function<void(BinaryReader&)>& read_payload);
+
+/// Move a damaged file aside as `<path>.corrupt` (best effort; falls back
+/// to removal). Returns the quarantine path, or "" when nothing happened.
+std::string quarantine_file(const std::string& path);
+
+}  // namespace mmhar

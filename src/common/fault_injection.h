@@ -1,0 +1,90 @@
+// Deterministic fault injection for durability testing.
+//
+// The artifact store (common/artifact_store.h) and the experiment runtime
+// ask this injector, at named sites, whether a fault should fire *now*:
+// a truncated file, a flipped bit, a short write, a failed rename, a
+// repeat that dies mid-training. The answer is a pure function of the
+// configured spec, the seed, and the per-site call count, so every
+// recovery path in the test suite replays identically — including under
+// the ASan/UBSan/TSan CI legs.
+//
+// Configuration (environment, read once on first use):
+//   MMHAR_FAULT_SPEC   comma-separated site rules (below); empty = off
+//   MMHAR_FAULT_SEED   seed for probabilistic rules (default 1)
+//
+// Spec grammar, one entry per site:
+//   site          fire on every call
+//   site@N        fire on exactly the Nth call of that site (1-based)
+//   site=P        fire with probability P per call (deterministic stream)
+//
+// Example: MMHAR_FAULT_SPEC="artifact.truncate@2,artifact.rename_fail=0.5"
+//
+// Sites currently wired:
+//   artifact.truncate      final file loses its tail bytes after commit
+//   artifact.bitflip       one payload bit flips after commit
+//   artifact.short_write   temp-file write stops partway and throws IoError
+//   artifact.rename_fail   temp->final rename throws IoError (temp removed)
+//   experiment.repeat_fail one sweep repeat throws before training
+//
+// Tests normally bypass the env and call
+// `FaultInjector::instance().configure(spec, seed)` directly, then
+// `clear()` in teardown. All entry points are thread-safe; the unarmed
+// fast path is a single relaxed atomic load.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+
+#include "common/rng.h"
+
+namespace mmhar {
+
+class FaultInjector {
+ public:
+  /// Process-wide injector; first call loads MMHAR_FAULT_SPEC/SEED.
+  static FaultInjector& instance();
+
+  /// Replace the active spec (tests). Throws InvalidArgument on a
+  /// malformed spec. An empty spec disarms the injector.
+  void configure(const std::string& spec, std::uint64_t seed);
+
+  /// Disarm and forget all rules and counters.
+  void clear();
+
+  /// True when any rule is loaded.
+  bool armed() const;
+
+  /// Should the named site fault on this call? Increments the site's
+  /// call counter whether or not it fires.
+  bool should_fire(const char* site);
+
+  /// Deterministic parameter draw in [0, n) for a firing site (e.g. which
+  /// byte to flip). Requires n > 0.
+  std::uint64_t draw(std::uint64_t n);
+
+  /// Diagnostics for tests.
+  std::size_t call_count(const std::string& site) const;
+  std::size_t fire_count(const std::string& site) const;
+
+ private:
+  FaultInjector();
+
+  struct Rule {
+    double probability = 1.0;  ///< used when nth == 0
+    std::uint64_t nth = 0;     ///< fire on exactly this call when > 0
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Rule> rules_;
+  std::map<std::string, std::size_t> calls_;
+  std::map<std::string, std::size_t> fires_;
+  Rng rng_{1};
+};
+
+/// Fast-path helpers: no-ops (false / 0) when the injector is unarmed.
+bool fault_should_fire(const char* site);
+std::uint64_t fault_draw(std::uint64_t n);
+
+}  // namespace mmhar

@@ -1,0 +1,110 @@
+#include "common/journal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "common/logging.h"
+#include "common/serialize.h"
+
+namespace mmhar {
+namespace {
+
+constexpr std::uint32_t kRecordMagic = 0x4345524A;  // "JREC"
+constexpr std::size_t kFrameBytes =
+    sizeof(std::uint32_t) + 2 * sizeof(std::uint64_t);
+
+std::uint64_t checksum_of(const char* data, std::size_t n) {
+  Hasher h;
+  h.mix_bytes(data, n);
+  return h.value();
+}
+
+}  // namespace
+
+AppendJournal::AppendJournal(std::string path) : path_(std::move(path)) {}
+
+std::vector<std::string> AppendJournal::load() {
+  std::vector<std::string> records;
+  if (!file_exists(path_)) return records;
+
+  std::string bytes;
+  {
+    std::ifstream is(path_, std::ios::binary);
+    if (!is) throw IoError("journal: cannot open " + path_);
+    std::ostringstream buf(std::ios::binary);
+    buf << is.rdbuf();
+    if (is.bad()) throw IoError("journal: read failed on " + path_);
+    bytes = buf.str();
+  }
+
+  std::size_t offset = 0;
+  std::size_t valid_bytes = 0;
+  while (offset + kFrameBytes <= bytes.size()) {
+    std::uint32_t magic = 0;
+    std::uint64_t len = 0;
+    MMHAR_CHECK(offset + kFrameBytes <= bytes.size());
+    std::memcpy(&magic, bytes.data() + offset, 4);
+    std::memcpy(&len, bytes.data() + offset + 4, 8);
+    if (magic != kRecordMagic) break;
+    const std::size_t record_end = offset + kFrameBytes +
+                                   static_cast<std::size_t>(len);
+    if (len > bytes.size() || record_end > bytes.size()) break;
+    MMHAR_CHECK(record_end <= bytes.size());
+    std::uint64_t stored = 0;
+    std::memcpy(&stored, bytes.data() + offset + 12 + len, 8);
+    if (stored != checksum_of(bytes.data() + offset + 12,
+                              static_cast<std::size_t>(len)))
+      break;
+    records.emplace_back(bytes, offset + 12, static_cast<std::size_t>(len));
+    offset = record_end;
+    valid_bytes = record_end;
+  }
+
+  if (valid_bytes < bytes.size()) {
+    MMHAR_LOG(Warn) << "journal " << path_ << ": torn tail ("
+                    << bytes.size() - valid_bytes
+                    << " trailing bytes), truncating to " << records.size()
+                    << " intact record(s)";
+    std::error_code ec;
+    std::filesystem::resize_file(path_, valid_bytes, ec);
+    if (ec)
+      MMHAR_LOG(Warn) << "journal " << path_
+                      << ": truncation failed: " << ec.message();
+  }
+  return records;
+}
+
+void AppendJournal::append(const std::string& payload) {
+  std::string frame(kFrameBytes - sizeof(std::uint64_t) + payload.size(),
+                    '\0');
+  const std::uint64_t len = payload.size();
+  const std::uint64_t sum = checksum_of(payload.data(), payload.size());
+  MMHAR_CHECK(frame.size() == 12 + payload.size());
+  std::memcpy(frame.data(), &kRecordMagic, 4);
+  std::memcpy(frame.data() + 4, &len, 8);
+  std::memcpy(frame.data() + 12, payload.data(), payload.size());
+  frame.append(reinterpret_cast<const char*>(&sum), 8);
+
+  {
+    std::ofstream os(path_, std::ios::binary | std::ios::app);
+    if (!os) throw IoError("journal: cannot open " + path_ + " for append");
+    os.write(frame.data(), static_cast<std::streamsize>(frame.size()));
+    os.flush();
+    if (!os) throw IoError("journal: append failed on " + path_);
+  }
+  const int fd = ::open(path_.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    if (::fsync(fd) != 0)
+      MMHAR_LOG(Warn) << "journal " << path_ << ": fsync failed (continuing)";
+    ::close(fd);
+  }
+}
+
+}  // namespace mmhar

@@ -1,0 +1,43 @@
+// Append-only, torn-tail-tolerant record journal.
+//
+// The sweep runtime appends one record per completed unit of work (point,
+// repeat); a killed process leaves at worst a torn final record. `load`
+// walks the file record by record, returns every intact payload, and
+// truncates a torn tail on disk so subsequent appends extend a valid
+// prefix instead of burying new records behind garbage.
+//
+// Record framing (little-endian):
+//   u32 record magic 'JREC'
+//   u64 payload length
+//   ..payload..
+//   u64 FNV-1a checksum over the payload bytes
+//
+// Appends are a single buffered write + flush + fsync, so a record is
+// either fully present or detectably torn — never silently wrong.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mmhar {
+
+class AppendJournal {
+ public:
+  explicit AppendJournal(std::string path);
+
+  const std::string& path() const { return path_; }
+
+  /// All intact record payloads, in append order. A torn/corrupt tail is
+  /// logged and truncated away on disk (best effort); a missing file is
+  /// simply an empty journal.
+  std::vector<std::string> load();
+
+  /// Append one record durably. Throws IoError when the write fails.
+  void append(const std::string& payload);
+
+ private:
+  std::string path_;
+};
+
+}  // namespace mmhar

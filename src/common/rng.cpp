@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/serialize.h"
 
 namespace mmhar {
 namespace {
@@ -106,6 +107,18 @@ void Rng::shuffle(std::vector<std::size_t>& v) {
     const std::size_t j = index(i);
     std::swap(v[i - 1], v[j]);
   }
+}
+
+void Rng::save(BinaryWriter& w) const {
+  for (const std::uint64_t s : s_) w.write_u64(s);
+  w.write_f64(spare_);
+  w.write_u32(has_spare_ ? 1 : 0);
+}
+
+void Rng::load(BinaryReader& r) {
+  for (auto& s : s_) s = r.read_u64();
+  spare_ = r.read_f64();
+  has_spare_ = r.read_u32() != 0;
 }
 
 }  // namespace mmhar

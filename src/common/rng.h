@@ -12,6 +12,9 @@
 
 namespace mmhar {
 
+class BinaryReader;
+class BinaryWriter;
+
 /// SplitMix64-seeded xoshiro256** generator with convenience samplers.
 ///
 /// Not cryptographic; chosen for speed, tiny state, and good statistical
@@ -51,6 +54,11 @@ class Rng {
 
   /// In-place Fisher–Yates shuffle of an index vector.
   void shuffle(std::vector<std::size_t>& v);
+
+  /// Serialize the full generator state (stream position included), so a
+  /// restored Rng continues bit-identically. Used by training checkpoints.
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
 
  private:
   std::uint64_t s_[4];

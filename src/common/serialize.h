@@ -52,9 +52,22 @@ class BinaryWriter {
 };
 
 /// Streaming binary reader; throws IoError on truncated input.
+///
+/// Length-prefixed reads (`read_string`, `read_*_vec`) validate the
+/// untrusted prefix against the bytes actually remaining in the stream
+/// *before* allocating, so a corrupt multi-gigabyte length throws IoError
+/// instead of attempting the allocation. The remaining-byte budget is
+/// discovered by seeking (files, stringstreams); pass `limit` explicitly
+/// for non-seekable streams, or accept the unlimited fallback.
 class BinaryReader {
  public:
-  explicit BinaryReader(std::istream& is) : is_(is) {}
+  explicit BinaryReader(std::istream& is)
+      : is_(is), remaining_(seekable_remaining(is)) {}
+  BinaryReader(std::istream& is, std::uint64_t limit)
+      : is_(is), remaining_(limit) {}
+
+  /// Bytes still readable (UINT64_MAX when unknown).
+  std::uint64_t remaining() const { return remaining_; }
 
   std::uint32_t read_u32() { return read_pod<std::uint32_t>(); }
   std::uint64_t read_u64() { return read_pod<std::uint64_t>(); }
@@ -63,27 +76,51 @@ class BinaryReader {
   double read_f64() { return read_pod<double>(); }
 
   std::string read_string() {
-    const auto n = read_u64();
+    const auto n = checked_count(read_u64(), 1, "string");
     std::string s(n, '\0');
     read_raw(s.data(), n);
     return s;
   }
 
   std::vector<float> read_f32_vec() {
-    const auto n = read_u64();
+    const auto n = checked_count(read_u64(), sizeof(float), "f32 vector");
     std::vector<float> v(n);
     read_raw(v.data(), n * sizeof(float));
     return v;
   }
 
   std::vector<std::uint64_t> read_u64_vec() {
-    const auto n = read_u64();
+    const auto n =
+        checked_count(read_u64(), sizeof(std::uint64_t), "u64 vector");
     std::vector<std::uint64_t> v(n);
     read_raw(v.data(), n * sizeof(std::uint64_t));
     return v;
   }
 
  private:
+  static std::uint64_t seekable_remaining(std::istream& is) {
+    const auto here = is.tellg();
+    if (here == std::istream::pos_type(-1)) return UINT64_MAX;
+    is.seekg(0, std::ios::end);
+    const auto end = is.tellg();
+    is.seekg(here);
+    if (end == std::istream::pos_type(-1) || !is) {
+      is.clear();
+      is.seekg(here);
+      return UINT64_MAX;
+    }
+    return static_cast<std::uint64_t>(end - here);
+  }
+
+  /// Validate an untrusted element count against the remaining bytes.
+  std::size_t checked_count(std::uint64_t n, std::uint64_t elem_size,
+                            const char* what) {
+    if (n > remaining_ / elem_size)
+      throw IoError(std::string("BinaryReader: ") + what +
+                    " length prefix exceeds remaining stream bytes");
+    return static_cast<std::size_t>(n);
+  }
+
   template <typename T>
   T read_pod() {
     T v{};
@@ -92,12 +129,15 @@ class BinaryReader {
   }
 
   void read_raw(void* data, std::size_t n) {
+    if (n > remaining_) throw IoError("BinaryReader: truncated stream");
     is_.read(static_cast<char*>(data), static_cast<std::streamsize>(n));
     if (static_cast<std::size_t>(is_.gcount()) != n)
       throw IoError("BinaryReader: truncated stream");
+    if (remaining_ != UINT64_MAX) remaining_ -= n;
   }
 
   std::istream& is_;
+  std::uint64_t remaining_;
 };
 
 /// Open `path` for binary writing; throws IoError on failure.

@@ -5,7 +5,9 @@
 #include <sstream>
 
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 
 namespace mmhar::core {
 
@@ -44,6 +46,9 @@ ExperimentSetup ExperimentSetup::standard() {
 
   s.repeats = static_cast<std::size_t>(env_int("MMHAR_REPEATS", 2));
   s.cache_dir = env_string("MMHAR_CACHE_DIR", ".mmhar_cache");
+  s.resume_sweeps = env_int("MMHAR_RESUME", 1) != 0;
+  s.checkpoint_every =
+      static_cast<std::size_t>(env_int("MMHAR_CHECKPOINT_EVERY", 1));
   return s;
 }
 
@@ -101,17 +106,34 @@ har::HarModel AttackExperiment::load_or_train_clean(std::uint64_t seed,
 
   har::HarModelConfig mc = setup_.model;
   mc.seed = seed;
-  har::HarModel model(mc);
-  if (file_exists(path)) {
-    model.load(path);
-    return model;
+  {
+    har::HarModel model(mc);
+    const LoadResult res = model.try_load(path);
+    if (res.ok()) return model;
+    if (res.status != LoadStatus::Missing) {
+      MMHAR_LOG(Warn) << tag << " model cache " << path << " unusable ("
+                      << load_status_name(res.status) << "), retraining";
+    }
   }
+  // Retrain from a freshly constructed model so the result is independent
+  // of whatever the failed load did (try_load rolls back anyway).
+  har::HarModel model(mc);
   MMHAR_LOG(Info) << "training " << tag << " model ("
                   << model.parameter_count() << " parameters)";
   har::TrainConfig tc = setup_.training;
   tc.seed = seed ^ 0x5EEDULL;
+  if (setup_.checkpoint_every > 0) {
+    tc.checkpoint_path = setup_.cache_dir + "/model_" + h.hex() + ".ckpt";
+    tc.checkpoint_every = setup_.checkpoint_every;
+    tc.checkpoint_salt = h.value();
+  }
   har::train_model(model, train_set(), tc);
-  model.save(path);
+  try {
+    model.save(path);
+  } catch (const IoError& e) {
+    MMHAR_LOG(Warn) << tag << " model cache write failed (" << e.what()
+                    << "); continuing uncached";
+  }
   return model;
 }
 
@@ -182,8 +204,113 @@ std::vector<std::size_t> AttackExperiment::frames_for(
   return xai::top_k_by_magnitude(plan.mean_abs_shap, point.poisoned_frames);
 }
 
+std::uint64_t AttackExperiment::point_hash(const AttackPoint& point) const {
+  Hasher h;
+  // Setup identity: any knob that changes the numbers must invalidate old
+  // journal records. `repeats` is deliberately excluded — metrics are a
+  // function of the repeat index alone, so raising MMHAR_REPEATS reuses
+  // the completed repeats and only runs the new ones.
+  setup_.train_generator.hash_into(h);
+  setup_.attack_generator.hash_into(h);
+  setup_.train_grid.hash_into(h);
+  setup_.test_grid.hash_into(h);
+  setup_.attack_grid.hash_into(h);
+  h.mix(setup_.model.frames)
+      .mix(setup_.model.height)
+      .mix(setup_.model.width)
+      .mix(setup_.model.conv1_channels)
+      .mix(setup_.model.conv2_channels)
+      .mix(setup_.model.feature_dim)
+      .mix(setup_.model.lstm_hidden)
+      .mix(setup_.model.num_classes)
+      .mix(setup_.model.seed);
+  h.mix(setup_.training.epochs)
+      .mix(setup_.training.batch_size)
+      .mix(setup_.training.learning_rate)
+      .mix(setup_.training.weight_decay)
+      .mix(setup_.training.grad_clip)
+      .mix(setup_.training.seed)
+      .mix(setup_.training.validation_fraction);
+  h.mix(setup_.shap.num_permutations)
+      .mix(static_cast<int>(setup_.shap.baseline))
+      .mix(setup_.shap.use_probability)
+      .mix(setup_.shap.seed);
+  h.mix(setup_.objective.alpha).mix(setup_.objective.beta);
+  // Point knobs.
+  h.mix(point.victim).mix(point.target);
+  h.mix(point.trigger.width_m)
+      .mix(point.trigger.height_m)
+      .mix(point.trigger.reflectivity)
+      .mix(point.trigger.under_clothing)
+      .mix(point.trigger.clothing_attenuation)
+      .mix(point.trigger.tessellation)
+      .mix(point.trigger.standoff_m);
+  h.mix(point.injection_rate)
+      .mix(point.poisoned_frames)
+      .mix(static_cast<int>(point.frame_selection))
+      .mix(point.optimize_position);
+  h.mix(point.attack_grid_override.has_value());
+  if (point.attack_grid_override) point.attack_grid_override->hash_into(h);
+  return h.value();
+}
+
+void AttackExperiment::ensure_journal() {
+  if (journal_) return;
+  ensure_directory(setup_.cache_dir);
+  journal_.emplace(setup_.cache_dir + "/sweep_journal.jnl");
+  std::size_t replayed = 0;
+  for (const std::string& payload : journal_->load()) {
+    try {
+      std::istringstream is(payload);
+      BinaryReader r(is, payload.size());
+      const std::uint64_t ph = r.read_u64();
+      const std::uint64_t rep = r.read_u64();
+      AttackMetrics m;
+      m.asr = r.read_f64();
+      m.uasr = r.read_f64();
+      m.cdr = r.read_f64();
+      m.attack_samples = static_cast<std::size_t>(r.read_u64());
+      m.clean_samples = static_cast<std::size_t>(r.read_u64());
+      journal_index_[{ph, rep}] = m;
+      ++replayed;
+    } catch (const Error&) {
+      // Checksums already passed, so this is a schema change from an older
+      // binary; the record simply doesn't replay.
+      MMHAR_LOG(Warn) << "sweep journal: skipping unparseable record";
+    }
+  }
+  if (replayed > 0) {
+    MMHAR_LOG(Info) << "sweep journal " << journal_->path() << ": "
+                    << replayed << " completed repeats on record";
+  }
+}
+
+void AttackExperiment::journal_append(std::uint64_t point_h,
+                                      std::uint64_t repeat,
+                                      const AttackMetrics& m) {
+  if (!journal_) return;
+  std::ostringstream os;
+  BinaryWriter w(os);
+  w.write_u64(point_h);
+  w.write_u64(repeat);
+  w.write_f64(m.asr);
+  w.write_f64(m.uasr);
+  w.write_f64(m.cdr);
+  w.write_u64(m.attack_samples);
+  w.write_u64(m.clean_samples);
+  try {
+    journal_->append(os.str());
+  } catch (const IoError& e) {
+    MMHAR_LOG(Warn) << "sweep journal append failed (" << e.what()
+                    << "); sweep continues unjournaled";
+  }
+  journal_index_[{point_h, repeat}] = m;
+}
+
 std::pair<har::HarModel, AttackMetrics> AttackExperiment::run_single(
     const AttackPoint& point, std::uint64_t repeat_index) {
+  if (fault_should_fire("experiment.repeat_fail"))
+    throw IoError("injected fault: experiment.repeat_fail");
   BackdoorPlan plan = plan_for(point);
   plan.frames = frames_for(plan, point);
 
@@ -215,10 +342,47 @@ PointSummary AttackExperiment::run_point(const AttackPoint& point) {
   PointSummary summary;
   summary.repeats = setup_.repeats;
 
+  const std::uint64_t ph = point_hash(point);
+  if (setup_.resume_sweeps) ensure_journal();
+
   std::vector<AttackMetrics> runs;
   runs.reserve(setup_.repeats);
-  for (std::size_t r = 0; r < setup_.repeats; ++r)
-    runs.push_back(run_single(point, r).second);
+  std::string first_error;
+  for (std::size_t r = 0; r < setup_.repeats; ++r) {
+    const std::uint64_t rep = static_cast<std::uint64_t>(r);
+    if (setup_.resume_sweeps) {
+      const auto it = journal_index_.find({ph, rep});
+      if (it != journal_index_.end()) {
+        runs.push_back(it->second);
+        continue;
+      }
+    }
+    // One retry per repeat: a corrupt cache was quarantined by the failed
+    // attempt, so the retry regenerates it; a second failure is recorded
+    // and the sweep moves on instead of aborting.
+    first_error.clear();
+    for (int attempt = 0; attempt < 2; ++attempt) {
+      try {
+        const AttackMetrics m = run_single(point, rep).second;
+        runs.push_back(m);
+        if (setup_.resume_sweeps) journal_append(ph, rep, m);
+        break;
+      } catch (const Error& e) {
+        if (attempt == 0) {
+          first_error = e.what();
+          MMHAR_LOG(Warn) << "repeat " << r << " failed (" << e.what()
+                          << "); retrying once";
+        } else {
+          ++summary.failed_repeats;
+          summary.errors.push_back(first_error + " | retry: " + e.what());
+          MMHAR_LOG(Warn) << "repeat " << r
+                          << " failed again; recording as failed";
+        }
+      }
+    }
+  }
+
+  if (runs.empty()) return summary;  // ok() is false; stats stay zero
 
   const auto mean_of = [&](auto proj) {
     double acc = 0.0;

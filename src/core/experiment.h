@@ -19,6 +19,7 @@
 #include <optional>
 #include <tuple>
 
+#include "common/journal.h"
 #include "core/attack_eval.h"
 #include "core/backdoor_attack.h"
 #include "har/trainer.h"
@@ -37,6 +38,14 @@ struct ExperimentSetup {
   PositionObjective objective;
   std::size_t repeats = 2;
   std::string cache_dir;
+  /// Sweep crash tolerance: append one journal record per completed
+  /// (point, repeat) to `<cache_dir>/sweep_journal.jnl` and replay intact
+  /// records on rerun, so a killed sweep resumes at the last completed
+  /// unit with bit-identical numbers. MMHAR_RESUME=0 disables.
+  bool resume_sweeps = true;
+  /// Per-epoch checkpointing cadence for the cached clean/surrogate
+  /// trainings (0 disables; env MMHAR_CHECKPOINT_EVERY).
+  std::size_t checkpoint_every = 1;
 
   /// Paper-§VI grid at laptop scale, env-var adjustable.
   static ExperimentSetup standard();
@@ -58,7 +67,12 @@ struct AttackPoint {
 struct PointSummary {
   AttackMetrics mean;
   AttackMetrics stddev;
-  std::size_t repeats = 0;
+  std::size_t repeats = 0;         ///< repeats requested
+  std::size_t failed_repeats = 0;  ///< repeats that failed after one retry
+  std::vector<std::string> errors;  ///< one message per failed repeat
+
+  /// At least one repeat produced metrics (mean/stddev are meaningful).
+  bool ok() const { return failed_repeats < repeats; }
 };
 
 class AttackExperiment {
@@ -95,6 +109,13 @@ class AttackExperiment {
 
   /// Train `repeats` backdoored models for the point and average the
   /// metrics (paper averages 30 repetitions).
+  ///
+  /// Fault tolerance: completed repeats are journaled (resumable after a
+  /// kill, bit-identical on replay); a repeat that throws `mmhar::Error`
+  /// — corrupt artifact, MMHAR_FINITE_CHECKS tripwire, injected fault —
+  /// is retried once (corrupt caches were quarantined, so the retry
+  /// regenerates) and otherwise recorded in `failed_repeats`/`errors`
+  /// instead of aborting the sweep.
   PointSummary run_point(const AttackPoint& point);
 
   /// One backdoored model for a point (no averaging; Table-I style and
@@ -110,6 +131,14 @@ class AttackExperiment {
   using PlanKey = std::tuple<std::size_t, std::size_t, long, int, int>;
   PlanKey plan_key(const AttackPoint& point) const;
 
+  /// Journal identity of a sweep point: a hash of the full setup plus the
+  /// point's own knobs, so any config change invalidates old records.
+  std::uint64_t point_hash(const AttackPoint& point) const;
+  /// Lazy-open `<cache_dir>/sweep_journal.jnl` and index its records.
+  void ensure_journal();
+  void journal_append(std::uint64_t point_h, std::uint64_t repeat,
+                      const AttackMetrics& m);
+
   ExperimentSetup setup_;
   har::SampleGenerator train_gen_;
   har::SampleGenerator attack_gen_;
@@ -118,6 +147,10 @@ class AttackExperiment {
   std::optional<har::HarModel> surrogate_;
   std::optional<har::HarModel> clean_model_;
   std::map<PlanKey, BackdoorPlan> plans_;
+
+  std::optional<AppendJournal> journal_;
+  std::map<std::pair<std::uint64_t, std::uint64_t>, AttackMetrics>
+      journal_index_;
 };
 
 /// Format helper used by benches: "84.2" style percentage.

@@ -33,7 +33,13 @@ har::Dataset load_or_build_triggered_twins(
   victim_only.hash_into(h);
   placement.hash_into(h);
   const std::string path = cache_dir + "/twins_" + h.hex() + ".ds";
-  if (file_exists(path)) return har::Dataset::load(path);
+  har::Dataset cached;
+  const LoadResult res = har::Dataset::try_load(path, cached);
+  if (res.ok()) return cached;
+  if (res.status != LoadStatus::Missing) {
+    MMHAR_LOG(Warn) << "twins cache " << path << " unusable ("
+                    << load_status_name(res.status) << "), regenerating";
+  }
 
   MMHAR_LOG(Info) << "generating " << victim_only.total_samples()
                   << " triggered twins -> " << path;
@@ -58,7 +64,12 @@ har::Dataset load_or_build_triggered_twins(
       }
     }
   }
-  twins.save(path);
+  try {
+    twins.save(path);
+  } catch (const IoError& e) {
+    MMHAR_LOG(Warn) << "twins cache write failed (" << e.what()
+                    << "); continuing uncached";
+  }
   return twins;
 }
 

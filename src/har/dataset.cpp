@@ -52,44 +52,60 @@ std::vector<std::size_t> Dataset::labels_of(
   return labels;
 }
 
+namespace {
+
+constexpr std::uint32_t kDatasetMagic = 0x53445348;  // "HSDS"
+constexpr std::uint32_t kDatasetVersion = 1;
+
+}  // namespace
+
 void Dataset::save(const std::string& path) const {
-  auto os = open_for_write(path);
-  BinaryWriter w(os);
-  w.write_u32(0x53445348);  // "HSDS"
-  w.write_u64(num_classes_);
-  w.write_u64(samples_.size());
-  for (const auto& s : samples_) {
-    w.write_u32(static_cast<std::uint32_t>(s.spec.activity));
-    w.write_i64(s.spec.participant);
-    w.write_f64(s.spec.distance_m);
-    w.write_f64(s.spec.angle_deg);
-    w.write_u32(s.spec.repetition);
-    w.write_u64(s.spec.seed);
-    w.write_u64(s.label);
-    s.heatmaps.save(w);
-  }
+  save_artifact(path, kDatasetMagic, kDatasetVersion, [&](BinaryWriter& w) {
+    w.write_u64(num_classes_);
+    w.write_u64(samples_.size());
+    for (const auto& s : samples_) {
+      w.write_u32(static_cast<std::uint32_t>(s.spec.activity));
+      w.write_i64(s.spec.participant);
+      w.write_f64(s.spec.distance_m);
+      w.write_f64(s.spec.angle_deg);
+      w.write_u32(s.spec.repetition);
+      w.write_u64(s.spec.seed);
+      w.write_u64(s.label);
+      s.heatmaps.save(w);
+    }
+  });
+}
+
+LoadResult Dataset::try_load(const std::string& path, Dataset& out) {
+  Dataset ds;
+  const LoadResult result =
+      load_artifact(path, kDatasetMagic, kDatasetVersion, [&](BinaryReader& r) {
+        ds.num_classes_ = r.read_u64();
+        const auto count = r.read_u64();
+        for (std::uint64_t i = 0; i < count; ++i) {
+          Sample s;
+          s.spec.activity = static_cast<mesh::Activity>(r.read_u32());
+          s.spec.participant = static_cast<int>(r.read_i64());
+          s.spec.distance_m = r.read_f64();
+          s.spec.angle_deg = r.read_f64();
+          s.spec.repetition = r.read_u32();
+          s.spec.seed = r.read_u64();
+          s.label = r.read_u64();
+          s.heatmaps = Tensor::load(r);
+          ds.samples_.push_back(std::move(s));
+        }
+      });
+  if (result.ok()) out = std::move(ds);
+  return result;
 }
 
 Dataset Dataset::load(const std::string& path) {
-  auto is = open_for_read(path);
-  BinaryReader r(is);
-  if (r.read_u32() != 0x53445348) throw IoError("Dataset::load: bad magic");
   Dataset ds;
-  ds.num_classes_ = r.read_u64();
-  const auto count = r.read_u64();
-  ds.samples_.reserve(count);
-  for (std::uint64_t i = 0; i < count; ++i) {
-    Sample s;
-    s.spec.activity = static_cast<mesh::Activity>(r.read_u32());
-    s.spec.participant = static_cast<int>(r.read_i64());
-    s.spec.distance_m = r.read_f64();
-    s.spec.angle_deg = r.read_f64();
-    s.spec.repetition = r.read_u32();
-    s.spec.seed = r.read_u64();
-    s.label = r.read_u64();
-    s.heatmaps = Tensor::load(r);
-    ds.samples_.push_back(std::move(s));
-  }
+  const LoadResult result = try_load(path, ds);
+  if (!result.ok())
+    throw IoError("Dataset::load: " + path + ": " +
+                  load_status_name(result.status) +
+                  (result.detail.empty() ? "" : " (" + result.detail + ")"));
   return ds;
 }
 
@@ -149,14 +165,28 @@ Dataset load_or_build_dataset(const SampleGenerator& generator,
   config.hash_into(h);
   const std::string path = cache_dir + "/dataset_" + h.hex() + ".ds";
 
-  if (file_exists(path)) {
+  Dataset cached;
+  const LoadResult res = Dataset::try_load(path, cached);
+  if (res.ok()) {
     MMHAR_LOG(Debug) << "dataset cache hit: " << path;
-    return Dataset::load(path);
+    return cached;
+  }
+  if (res.status != LoadStatus::Missing) {
+    MMHAR_LOG(Warn) << "dataset cache " << path << " unusable ("
+                    << load_status_name(res.status)
+                    << "), regenerating from scratch";
   }
   MMHAR_LOG(Info) << "dataset cache miss, generating "
                   << config.total_samples() << " samples -> " << path;
   Dataset ds = build_dataset(generator, config);
-  ds.save(path);
+  try {
+    ds.save(path);
+  } catch (const IoError& e) {
+    // A failed cache write (full disk, injected rename fault) must not
+    // take down the run that just paid for the generation.
+    MMHAR_LOG(Warn) << "dataset cache write failed (" << e.what()
+                    << "); continuing uncached";
+  }
   return ds;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "common/artifact_store.h"
 #include "har/generator.h"
 
 namespace mmhar::har {
@@ -42,8 +43,17 @@ class Dataset {
   std::vector<std::size_t> labels_of(
       const std::vector<std::size_t>& indices) const;
 
+  /// Write atomically (temp + rename) with a checksummed container; see
+  /// common/artifact_store.h. Throws IoError if the write fails — the
+  /// previous file at `path`, if any, is left intact.
   void save(const std::string& path) const;
+
+  /// Load `path`, throwing IoError when it is missing/corrupt (a corrupt
+  /// file is quarantined as `<path>.corrupt` first).
   static Dataset load(const std::string& path);
+
+  /// Non-throwing load: `out` is assigned only on LoadStatus::Ok.
+  static LoadResult try_load(const std::string& path, Dataset& out);
 
  private:
   std::vector<Sample> samples_;

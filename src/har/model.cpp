@@ -126,22 +126,73 @@ std::size_t HarModel::parameter_count() {
   return nn::parameter_count(parameters());
 }
 
+namespace {
+
+constexpr std::uint32_t kModelMagic = 0x4D524148;  // "HARM"
+constexpr std::uint32_t kModelVersion = 1;
+
+}  // namespace
+
 void HarModel::save(const std::string& path) const {
-  auto os = open_for_write(path);
-  BinaryWriter w(os);
-  w.write_u32(0x4D524148);  // "HARM"
-  const_cast<HarModel*>(this)->cnn_.save(w);
-  lstm_->save(w);
-  head_->save(w);
+  auto* self = const_cast<HarModel*>(this);
+  save_artifact(path, kModelMagic, kModelVersion, [&](BinaryWriter& w) {
+    // Architecture fingerprint: loading into a differently shaped model
+    // must fail loudly, not silently reshape the weight tensors.
+    w.write_u64(config_.frames);
+    w.write_u64(config_.height);
+    w.write_u64(config_.width);
+    w.write_u64(config_.conv1_channels);
+    w.write_u64(config_.conv2_channels);
+    w.write_u64(config_.feature_dim);
+    w.write_u64(config_.lstm_hidden);
+    w.write_u64(config_.num_classes);
+    self->cnn_.save(w);
+    lstm_->save(w);
+    head_->save(w);
+  });
+}
+
+LoadResult HarModel::try_load(const std::string& path) {
+  // Snapshot the weights so a payload that dies mid-read (corrupt tail)
+  // cannot leave the model half-overwritten.
+  std::vector<Tensor> snapshot;
+  for (Tensor* p : parameters()) snapshot.push_back(*p);
+
+  const LoadResult result =
+      load_artifact(path, kModelMagic, kModelVersion, [&](BinaryReader& r) {
+        const std::uint64_t arch[] = {r.read_u64(), r.read_u64(),
+                                      r.read_u64(), r.read_u64(),
+                                      r.read_u64(), r.read_u64(),
+                                      r.read_u64(), r.read_u64()};
+        const std::uint64_t want[] = {
+            config_.frames,         config_.height,
+            config_.width,          config_.conv1_channels,
+            config_.conv2_channels, config_.feature_dim,
+            config_.lstm_hidden,    config_.num_classes};
+        for (std::size_t i = 0; i < 8; ++i)
+          if (arch[i] != want[i])
+            throw IoError("HarModel: saved architecture does not match "
+                          "this model's config");
+        cnn_.load(r);
+        lstm_->load(r);
+        head_->load(r);
+      });
+
+  if (!result.ok()) {
+    const auto params = parameters();
+    MMHAR_CHECK(params.size() == snapshot.size());
+    for (std::size_t i = 0; i < params.size(); ++i)
+      *params[i] = std::move(snapshot[i]);
+  }
+  return result;
 }
 
 void HarModel::load(const std::string& path) {
-  auto is = open_for_read(path);
-  BinaryReader r(is);
-  if (r.read_u32() != 0x4D524148) throw IoError("HarModel::load: bad magic");
-  cnn_.load(r);
-  lstm_->load(r);
-  head_->load(r);
+  const LoadResult result = try_load(path);
+  if (!result.ok())
+    throw IoError("HarModel::load: " + path + ": " +
+                  load_status_name(result.status) +
+                  (result.detail.empty() ? "" : " (" + result.detail + ")"));
 }
 
 }  // namespace mmhar::har

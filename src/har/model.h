@@ -12,6 +12,7 @@
 #include <memory>
 #include <string>
 
+#include "common/artifact_store.h"
 #include "nn/conv.h"
 #include "nn/dense.h"
 #include "nn/lstm.h"
@@ -63,8 +64,20 @@ class HarModel {
   void zero_gradients();
   std::size_t parameter_count();
 
+  /// Write atomically with a checksummed container and an architecture
+  /// fingerprint (see common/artifact_store.h). Throws IoError on write
+  /// failure; any previous file at `path` stays intact.
   void save(const std::string& path) const;
+
+  /// Load weights from `path`; throws IoError when the file is missing,
+  /// corrupt (quarantined first), or saved from a different architecture.
+  /// On throw the model's weights are unspecified — reconstruct before
+  /// reuse.
   void load(const std::string& path);
+
+  /// Non-throwing load. Weights are modified only when the result is Ok;
+  /// any partial read is rolled back to the pre-call values.
+  LoadResult try_load(const std::string& path);
 
  private:
   HarModelConfig config_;

@@ -16,6 +16,24 @@ struct TrainConfig {
   std::uint64_t seed = 1234;      ///< shuffling seed
   double validation_fraction = 0.0;  ///< held out from training if > 0
   bool verbose = false;
+
+  // ---- Crash tolerance (see README "Crash recovery & caching") ----
+  /// When non-empty, an atomic checkpoint (weights + Adam moments + RNG
+  /// state + shuffle order + epoch index + history) is written to this
+  /// path every `checkpoint_every` epochs, and a compatible checkpoint
+  /// found at start is resumed *bit-identically* — the resumed run's
+  /// final weights equal an uninterrupted run's exactly. The file is
+  /// removed once training completes.
+  std::string checkpoint_path;
+  std::size_t checkpoint_every = 1;  ///< epochs between checkpoints
+  /// Extra entropy for the checkpoint fingerprint; give distinct salts to
+  /// trainings that share every hyperparameter but different data so
+  /// their checkpoints can never resume each other.
+  std::uint64_t checkpoint_salt = 0;
+  /// Train at most this many epochs in this call (0 = to `epochs`), then
+  /// checkpoint and return. A later call resumes where this one stopped;
+  /// used for time-sliced training and the kill/resume tests.
+  std::size_t max_epochs_this_run = 0;
 };
 
 struct EpochStats {

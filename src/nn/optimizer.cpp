@@ -75,6 +75,24 @@ void Adam::step(const std::vector<Tensor*>& params,
   }
 }
 
+void Adam::save(BinaryWriter& w) const {
+  w.write_i64(step_count_);
+  w.write_u64(m_.size());
+  for (const Tensor& m : m_) m.save(w);
+  for (const Tensor& v : v_) v.save(w);
+}
+
+void Adam::load(BinaryReader& r) {
+  step_count_ = static_cast<long>(r.read_i64());
+  const auto n = r.read_u64();
+  m_.clear();
+  v_.clear();
+  m_.reserve(n);
+  v_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) m_.push_back(Tensor::load(r));
+  for (std::uint64_t i = 0; i < n; ++i) v_.push_back(Tensor::load(r));
+}
+
 float clip_gradient_norm(const std::vector<Tensor*>& grads, float max_norm) {
   MMHAR_REQUIRE(max_norm > 0.0F, "max_norm must be positive");
   double total = 0.0;

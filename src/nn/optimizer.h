@@ -48,6 +48,12 @@ class Adam : public Optimizer {
   float learning_rate() const { return lr_; }
   void set_learning_rate(float lr) { lr_ = lr; }
 
+  /// Serialize / restore the moment estimates and step counter so a
+  /// resumed training run continues bit-identically. Hyperparameters are
+  /// not stored — reconstruct the Adam with the same config first.
+  void save(BinaryWriter& w) const;
+  void load(BinaryReader& r);
+
  private:
   float lr_;
   float beta1_;

@@ -1,0 +1,438 @@
+// End-to-end crash-recovery tests: corrupt caches quarantine and
+// regenerate, interrupted trainings resume bit-identically from their
+// checkpoints, and killed sweeps replay completed repeats from the
+// journal with identical numbers while injected per-repeat failures
+// degrade gracefully instead of aborting.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/artifact_store.h"
+#include "common/fault_injection.h"
+#include "core/experiment.h"
+#include "har/dataset.h"
+#include "har/generator.h"
+#include "har/model.h"
+#include "har/trainer.h"
+
+namespace mmhar {
+namespace {
+
+namespace fs = std::filesystem;
+
+har::GeneratorConfig tiny_generator_config() {
+  har::GeneratorConfig gc;
+  gc.num_frames = 8;
+  gc.radar.num_samples = 64;
+  gc.radar.bandwidth_hz = 1.0e9;
+  gc.radar.num_chirps = 8;
+  gc.radar.num_virtual_antennas = 8;
+  gc.heatmap.range_bins = 16;
+  gc.heatmap.angle_bins = 16;
+  gc.environment = radar::EnvironmentKind::None;
+  return gc;
+}
+
+har::HarModelConfig tiny_model_config() {
+  har::HarModelConfig mc;
+  mc.frames = 8;
+  mc.height = 16;
+  mc.width = 16;
+  mc.conv1_channels = 4;
+  mc.conv2_channels = 8;
+  mc.feature_dim = 16;
+  mc.lstm_hidden = 16;
+  return mc;
+}
+
+har::DatasetConfig tiny_grid() {
+  har::DatasetConfig dc;
+  dc.participants = {0};
+  dc.distances_m = {1.2};
+  dc.angles_deg = {0.0};
+  dc.repetitions = 2;
+  return dc;
+}
+
+/// Flip one byte in the middle of a file (simulated on-disk rot).
+void corrupt_file(const std::string& path) {
+  std::fstream f(path, std::ios::binary | std::ios::in | std::ios::out);
+  ASSERT_TRUE(f.is_open()) << path;
+  f.seekg(0, std::ios::end);
+  const auto size = static_cast<std::streamoff>(f.tellg());
+  ASSERT_GT(size, 0);
+  f.seekp(size / 2);
+  char b = 0;
+  f.seekg(size / 2);
+  f.read(&b, 1);
+  b = static_cast<char>(b ^ 0x40);
+  f.seekp(size / 2);
+  f.write(&b, 1);
+}
+
+/// The single cache file with the given extension in `dir`.
+std::string only_file_with_ext(const std::string& dir,
+                               const std::string& ext) {
+  std::string found;
+  for (const auto& e : fs::directory_iterator(dir)) {
+    if (e.path().extension() == ext) {
+      EXPECT_TRUE(found.empty()) << "more than one " << ext << " in " << dir;
+      found = e.path().string();
+    }
+  }
+  EXPECT_FALSE(found.empty()) << "no " << ext << " file in " << dir;
+  return found;
+}
+
+void expect_same_weights(har::HarModel& a, har::HarModel& b) {
+  const auto pa = a.parameters();
+  const auto pb = b.parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    ASSERT_EQ(pa[i]->size(), pb[i]->size());
+    for (std::size_t j = 0; j < pa[i]->size(); ++j)
+      ASSERT_EQ((*pa[i])[j], (*pb[i])[j]) << "param " << i << "[" << j << "]";
+  }
+}
+
+TEST(DatasetRecovery, CorruptCacheIsQuarantinedAndRegenerated) {
+  const std::string dir = "test_tmp_recovery_ds";
+  fs::remove_all(dir);
+  const har::SampleGenerator gen(tiny_generator_config());
+  const har::DatasetConfig dc = tiny_grid();
+
+  const har::Dataset first = har::load_or_build_dataset(gen, dc, dir);
+  const std::string cache = only_file_with_ext(dir, ".ds");
+  corrupt_file(cache);
+
+  // The old behavior wedged here: load threw and the bench died until a
+  // human deleted the cache. Now the file quarantines and regenerates.
+  const har::Dataset second = har::load_or_build_dataset(gen, dc, dir);
+  EXPECT_TRUE(fs::exists(cache));  // regenerated at the same path
+  EXPECT_TRUE(fs::exists(cache + ".corrupt"));
+  ASSERT_EQ(first.size(), second.size());
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    const auto& ha = first.sample(i).heatmaps;
+    const auto& hb = second.sample(i).heatmaps;
+    ASSERT_EQ(ha.size(), hb.size());
+    for (std::size_t j = 0; j < ha.size(); ++j) ASSERT_EQ(ha[j], hb[j]);
+  }
+
+  // And the regenerated cache is valid again.
+  const har::Dataset third = har::load_or_build_dataset(gen, dc, dir);
+  EXPECT_EQ(third.size(), first.size());
+  fs::remove_all(dir);
+}
+
+TEST(ModelRecovery, TryLoadRollsBackOnCorruptFile) {
+  const std::string dir = "test_tmp_recovery_model";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/m.bin";
+
+  har::HarModel saved(tiny_model_config());
+  saved.save(path);
+
+  har::HarModelConfig other = tiny_model_config();
+  other.seed = 999;  // different init so a rollback is observable
+  har::HarModel loader(other);
+  std::vector<Tensor> before;
+  for (Tensor* p : loader.parameters()) before.push_back(*p);
+
+  corrupt_file(path);
+  const LoadResult res = loader.try_load(path);
+  EXPECT_FALSE(res.ok());
+  EXPECT_TRUE(fs::exists(path + ".corrupt"));
+
+  const auto params = loader.parameters();
+  ASSERT_EQ(params.size(), before.size());
+  for (std::size_t i = 0; i < params.size(); ++i)
+    for (std::size_t j = 0; j < params[i]->size(); ++j)
+      ASSERT_EQ((*params[i])[j], before[i][j]);
+  fs::remove_all(dir);
+}
+
+TEST(ModelRecovery, ArchitectureMismatchIsCorruptNotSilentReshape) {
+  const std::string dir = "test_tmp_recovery_arch";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  const std::string path = dir + "/m.bin";
+
+  har::HarModel saved(tiny_model_config());
+  saved.save(path);
+
+  har::HarModelConfig bigger = tiny_model_config();
+  bigger.feature_dim = 32;
+  har::HarModel loader(bigger);
+  const LoadResult res = loader.try_load(path);
+  EXPECT_EQ(res.status, LoadStatus::Corrupt);
+  EXPECT_NE(res.detail.find("architecture"), std::string::npos);
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointResume, KilledTrainingResumesBitIdentically) {
+  const std::string dir = "test_tmp_recovery_ckpt";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const har::SampleGenerator gen(tiny_generator_config());
+  const har::Dataset train = har::build_dataset(gen, tiny_grid());
+
+  har::TrainConfig base;
+  base.epochs = 6;
+  base.batch_size = 4;
+  base.validation_fraction = 0.25;  // exercise the split bookkeeping too
+  base.seed = 77;
+
+  // Reference: one uninterrupted run.
+  har::HarModel reference(tiny_model_config());
+  const auto ref_history = har::train_model(reference, train, base);
+  ASSERT_EQ(ref_history.epochs.size(), 6U);
+
+  // "Killed" run: each train_model call is a fresh process that trains at
+  // most 2 epochs, checkpoints, and dies; the model object is rebuilt
+  // from scratch every time, exactly like a restarted bench.
+  har::TrainConfig sliced = base;
+  sliced.checkpoint_path = dir + "/train.ckpt";
+  sliced.max_epochs_this_run = 2;
+  har::TrainHistory resumed_history;
+  for (int process = 0; process < 3; ++process) {
+    har::HarModel model(tiny_model_config());
+    resumed_history = har::train_model(model, train, sliced);
+    if (resumed_history.epochs.size() == 6U) {
+      expect_same_weights(model, reference);
+    } else {
+      ASSERT_TRUE(fs::exists(sliced.checkpoint_path));
+    }
+  }
+  ASSERT_EQ(resumed_history.epochs.size(), 6U);
+  // Completion removes the checkpoint.
+  EXPECT_FALSE(fs::exists(sliced.checkpoint_path));
+
+  // The recorded history is bit-identical too.
+  for (std::size_t e = 0; e < 6; ++e) {
+    EXPECT_EQ(resumed_history.epochs[e].loss, ref_history.epochs[e].loss);
+    EXPECT_EQ(resumed_history.epochs[e].accuracy,
+              ref_history.epochs[e].accuracy);
+    EXPECT_EQ(resumed_history.epochs[e].validation_accuracy,
+              ref_history.epochs[e].validation_accuracy);
+  }
+  fs::remove_all(dir);
+}
+
+TEST(CheckpointResume, ForeignCheckpointIsIgnored) {
+  const std::string dir = "test_tmp_recovery_ckpt2";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+
+  const har::SampleGenerator gen(tiny_generator_config());
+  const har::Dataset train = har::build_dataset(gen, tiny_grid());
+
+  // Leave a checkpoint behind from one training config...
+  har::TrainConfig writer;
+  writer.epochs = 4;
+  writer.batch_size = 4;
+  writer.checkpoint_path = dir + "/train.ckpt";
+  writer.max_epochs_this_run = 1;
+  {
+    har::HarModel model(tiny_model_config());
+    har::train_model(model, train, writer);
+  }
+  ASSERT_TRUE(fs::exists(writer.checkpoint_path));
+
+  // ...then train with a different learning rate at the same path. The
+  // fingerprint mismatch must be ignored: same result as no checkpoint.
+  har::TrainConfig other = writer;
+  other.learning_rate = 3e-3F;
+  other.max_epochs_this_run = 0;
+  har::HarModel with_stale(tiny_model_config());
+  har::train_model(with_stale, train, other);
+
+  har::TrainConfig clean = other;
+  clean.checkpoint_path.clear();
+  har::HarModel no_ckpt(tiny_model_config());
+  har::train_model(no_ckpt, train, clean);
+
+  expect_same_weights(with_stale, no_ckpt);
+  fs::remove_all(dir);
+}
+
+// ---- Sweep-level recovery --------------------------------------------
+
+core::ExperimentSetup tiny_setup(const std::string& cache) {
+  core::ExperimentSetup s;
+  s.train_generator = tiny_generator_config();
+  s.attack_generator = tiny_generator_config();
+  s.train_grid = tiny_grid();
+  s.test_grid = tiny_grid();
+  s.test_grid.repetitions = 1;
+  s.test_grid.repetition_offset = 50;
+  s.attack_grid = s.test_grid;
+  s.attack_grid.repetition_offset = 90;
+  s.model = tiny_model_config();
+  s.training.epochs = 3;
+  s.training.batch_size = 4;
+  s.shap.num_permutations = 2;
+  s.repeats = 2;
+  s.cache_dir = cache;
+  s.resume_sweeps = true;
+  s.checkpoint_every = 1;
+  return s;
+}
+
+core::AttackPoint tiny_point() {
+  core::AttackPoint p;
+  p.frame_selection = core::FrameSelection::FirstK;
+  p.optimize_position = false;  // skip the expensive position search
+  p.poisoned_frames = 4;
+  p.injection_rate = 0.5;
+  return p;
+}
+
+/// Arm a rule that can never fire so the injector counts run_single
+/// entries (the site sits at the top of run_single) without perturbing
+/// anything.
+void arm_repeat_counter() {
+  FaultInjector::instance().configure("experiment.repeat_fail@1000000000", 1);
+}
+
+std::size_t repeat_calls() {
+  return FaultInjector::instance().call_count("experiment.repeat_fail");
+}
+
+class SweepRecoveryTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    fs::remove_all(cache_);
+    // Twin generation inside BackdoorAttack::poison uses the env cache.
+    ::setenv("MMHAR_CACHE_DIR", cache_.c_str(), 1);
+    FaultInjector::instance().clear();
+  }
+  void TearDown() override {
+    FaultInjector::instance().clear();
+    ::unsetenv("MMHAR_CACHE_DIR");
+    fs::remove_all(cache_);
+  }
+  std::string cache_ = "test_tmp_recovery_sweep";
+};
+
+TEST_F(SweepRecoveryTest, JournalReplaysCompletedRepeatsBitIdentically) {
+  const core::AttackPoint point = tiny_point();
+
+  arm_repeat_counter();
+  core::PointSummary first;
+  {
+    core::AttackExperiment e(tiny_setup(cache_));
+    first = e.run_point(point);
+  }
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(first.failed_repeats, 0U);
+  EXPECT_EQ(repeat_calls(), 2U);  // both repeats actually ran
+  EXPECT_TRUE(fs::exists(cache_ + "/sweep_journal.jnl"));
+
+  // "Restart the process": a fresh experiment over the same cache must
+  // reproduce the summary from the journal without running any repeat.
+  arm_repeat_counter();  // resets the counter
+  core::PointSummary second;
+  {
+    core::AttackExperiment e(tiny_setup(cache_));
+    second = e.run_point(point);
+  }
+  EXPECT_EQ(repeat_calls(), 0U);
+  EXPECT_EQ(second.mean.asr, first.mean.asr);
+  EXPECT_EQ(second.mean.uasr, first.mean.uasr);
+  EXPECT_EQ(second.mean.cdr, first.mean.cdr);
+  EXPECT_EQ(second.stddev.asr, first.stddev.asr);
+  EXPECT_EQ(second.mean.attack_samples, first.mean.attack_samples);
+
+  // Raising MMHAR_REPEATS reuses the two journaled repeats and only runs
+  // the new one.
+  arm_repeat_counter();
+  {
+    auto setup = tiny_setup(cache_);
+    setup.repeats = 3;
+    core::AttackExperiment e(std::move(setup));
+    const auto third = e.run_point(point);
+    EXPECT_TRUE(third.ok());
+    EXPECT_EQ(third.repeats, 3U);
+  }
+  EXPECT_EQ(repeat_calls(), 1U);
+}
+
+TEST_F(SweepRecoveryTest, ResumeDisabledAlwaysRecomputes) {
+  auto setup = tiny_setup(cache_);
+  setup.resume_sweeps = false;
+  const core::AttackPoint point = tiny_point();
+
+  arm_repeat_counter();
+  {
+    core::AttackExperiment e(setup);
+    (void)e.run_point(point);
+    (void)e.run_point(point);
+  }
+  EXPECT_EQ(repeat_calls(), 4U);
+  EXPECT_FALSE(fs::exists(cache_ + "/sweep_journal.jnl"));
+}
+
+TEST_F(SweepRecoveryTest, InjectedRepeatFailureDegradesGracefully) {
+  const core::AttackPoint point = tiny_point();
+
+  // Every attempt of every repeat dies (as a finite-check NaN storm or a
+  // corrupt artifact would — all surface as mmhar::Error): the point is
+  // recorded as failed, the sweep does not throw.
+  FaultInjector::instance().configure("experiment.repeat_fail", 1);
+  core::AttackExperiment e(tiny_setup(cache_));
+  const auto failed = e.run_point(point);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.failed_repeats, 2U);
+  ASSERT_EQ(failed.errors.size(), 2U);
+  EXPECT_NE(failed.errors[0].find("repeat_fail"), std::string::npos);
+  EXPECT_EQ(failed.mean.asr, 0.0);
+
+  // Clear the fault: the same experiment recovers on the next call, and
+  // nothing bogus was journaled for the failed attempts.
+  FaultInjector::instance().clear();
+  const auto ok = e.run_point(point);
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.failed_repeats, 0U);
+}
+
+TEST_F(SweepRecoveryTest, TransientFailureIsRetriedOnce) {
+  const core::AttackPoint point = tiny_point();
+
+  // Only the very first attempt dies; the in-place retry must succeed.
+  FaultInjector::instance().configure("experiment.repeat_fail@1", 1);
+  core::AttackExperiment e(tiny_setup(cache_));
+  const auto summary = e.run_point(point);
+  EXPECT_TRUE(summary.ok());
+  EXPECT_EQ(summary.failed_repeats, 0U);
+  EXPECT_TRUE(summary.errors.empty());
+  // repeat 0 ran twice (fail + retry), repeat 1 once.
+  EXPECT_EQ(repeat_calls(), 3U);
+}
+
+TEST_F(SweepRecoveryTest, CorruptModelCacheHealsAcrossRestart) {
+  // Wedge-regression test for the clean/surrogate model cache: corrupt
+  // the cached surrogate, restart, and the experiment must retrain
+  // instead of dying on load.
+  {
+    core::AttackExperiment e(tiny_setup(cache_));
+    (void)e.surrogate();
+  }
+  const std::string model_cache = only_file_with_ext(cache_, ".bin");
+  corrupt_file(model_cache);
+  {
+    core::AttackExperiment e(tiny_setup(cache_));
+    (void)e.surrogate();  // throws in the pre-store world
+  }
+  EXPECT_TRUE(fs::exists(model_cache));  // regenerated
+  EXPECT_TRUE(fs::exists(model_cache + ".corrupt"));
+}
+
+}  // namespace
+}  // namespace mmhar

@@ -1,0 +1,96 @@
+#!/usr/bin/env bash
+# Crash-recovery smoke test: prove that a sweep killed with SIGKILL at an
+# arbitrary point converges to bit-identical numbers on rerun, with no
+# manual cache cleanup in between.
+#
+# Plan:
+#   1. Run a tiny injection-rate sweep to completion in a fresh cache
+#      (the reference), timing it.
+#   2. Run the same sweep in a second fresh cache and SIGKILL it at
+#      roughly half the reference wall-clock — mid dataset generation,
+#      mid training, or mid sweep, wherever the axe happens to fall.
+#   3. Rerun the killed sweep to completion against the same cache. The
+#      artifact store must quarantine/regenerate anything half-written
+#      and the sweep journal must replay completed repeats.
+#   4. Diff the data rows of the reference and the recovered run; any
+#      difference (or any FAILED row) fails the smoke.
+#
+# Usage: tools/crash_recovery_smoke.sh [path-to-bench-binary]
+# Default binary: build/bench/bench_fig8_similar_injection
+
+set -u
+
+BENCH=${1:-build/bench/bench_fig8_similar_injection}
+if [ ! -x "$BENCH" ]; then
+  echo "crash_recovery_smoke: bench binary not found: $BENCH" >&2
+  exit 2
+fi
+
+WORK=$(mktemp -d)
+trap 'rm -rf "$WORK"' EXIT
+
+# Tiny, deterministic knobs: one rate, two repeats, two epochs. Cold-cache
+# wall-clock is ~1 minute on 2 cores.
+export MMHAR_REPS_TRAIN=1
+export MMHAR_REPS_TEST=1
+export MMHAR_EPOCHS=2
+export MMHAR_REPEATS=2
+export MMHAR_RATES=0.4
+export MMHAR_LOG_LEVEL=${MMHAR_LOG_LEVEL:-3}
+
+# Data rows only: drop banners, comments, and the column header, which
+# carry config echoes rather than results.
+rows() { grep -Ev '^(==|#|scenario)' "$1" | grep -v '^[[:space:]]*$'; }
+
+echo "== reference run (uninterrupted, fresh cache) =="
+start=$SECONDS
+if ! MMHAR_CACHE_DIR="$WORK/cache_ref" "$BENCH" > "$WORK/ref.out" 2>&1; then
+  echo "crash_recovery_smoke: reference run failed" >&2
+  cat "$WORK/ref.out" >&2
+  exit 1
+fi
+ref_elapsed=$((SECONDS - start))
+echo "reference finished in ${ref_elapsed}s"
+rows "$WORK/ref.out"
+
+kill_after=$((ref_elapsed / 2))
+[ "$kill_after" -lt 5 ] && kill_after=5
+
+echo "== interrupted run (fresh cache, SIGKILL after ${kill_after}s) =="
+MMHAR_CACHE_DIR="$WORK/cache_crash" "$BENCH" > "$WORK/crash1.out" 2>&1 &
+victim=$!
+sleep "$kill_after"
+if kill -0 "$victim" 2>/dev/null; then
+  kill -9 "$victim"
+  wait "$victim" 2>/dev/null
+  echo "killed pid $victim mid-run"
+else
+  wait "$victim"
+  echo "warning: run finished before the kill landed; rerun still checks" \
+       "cache reuse determinism" >&2
+fi
+
+echo "== recovery run (same cache, no cleanup) =="
+if ! MMHAR_CACHE_DIR="$WORK/cache_crash" "$BENCH" > "$WORK/crash2.out" 2>&1; then
+  echo "crash_recovery_smoke: recovery run failed" >&2
+  cat "$WORK/crash2.out" >&2
+  exit 1
+fi
+rows "$WORK/crash2.out"
+
+status=0
+if grep -q "FAILED" "$WORK/crash2.out"; then
+  echo "crash_recovery_smoke: recovery run recorded failed sweep points" >&2
+  status=1
+fi
+if ! diff <(rows "$WORK/ref.out") <(rows "$WORK/crash2.out"); then
+  echo "crash_recovery_smoke: recovered numbers differ from the" \
+       "uninterrupted reference" >&2
+  status=1
+fi
+
+if [ "$status" -eq 0 ]; then
+  echo "crash_recovery_smoke: OK (recovered run is bit-identical to the" \
+       "reference)"
+fi
+exit $status

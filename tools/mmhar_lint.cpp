@@ -21,6 +21,11 @@
 //                         data race.
 //   missing-pragma-once   a header whose first non-comment line is not
 //                         #pragma once.
+//   naked-cache-write     std::ofstream / open_for_write outside the
+//                         artifact store: cache and artifact writes must
+//                         go through save_artifact (atomic rename +
+//                         checksum) or AppendJournal, or a crash leaves a
+//                         half-written file that wedges every later run.
 //   loop-alloc            a std:: container declared by value inside a
 //                         for/while body: each iteration pays a heap
 //                         allocation. Hoist the container out of the loop
@@ -143,6 +148,7 @@ class FileLinter {
     check_parallel_ref_accum();
     check_loop_alloc();
     check_pragma_once();
+    check_naked_cache_write();
     return std::move(found_);
   }
 
@@ -320,6 +326,23 @@ class FileLinter {
           pending_loop = false;  // braceless single-statement loop
         }
       }
+    }
+  }
+
+  void check_naked_cache_write() {
+    // The durable-write machinery itself is the one legitimate home for
+    // raw file output.
+    if (rel_path_.find("common/artifact_store") != std::string::npos ||
+        rel_path_.find("common/journal") != std::string::npos ||
+        rel_path_.find("common/serialize") != std::string::npos)
+      return;
+    static const std::regex re(R"(std::ofstream|\bopen_for_write\s*\()");
+    for (std::size_t i = 0; i < code_.size(); ++i) {
+      if (std::regex_search(code_[i], re))
+        add("naked-cache-write", i,
+            "raw file write outside the artifact store; route it through "
+            "save_artifact (common/artifact_store.h) or AppendJournal so "
+            "a crash can never leave a half-written cache behind");
     }
   }
 
