@@ -43,11 +43,11 @@ inline std::vector<double> env_double_list(const char* name,
   if (raw.empty()) return fallback;
   std::vector<double> out;
   std::size_t pos = 0;
+  std::string tok;  // hoisted per-token scratch
   while (pos <= raw.size()) {
     const std::size_t comma = raw.find(',', pos);
-    const std::string tok =
-        raw.substr(pos, comma == std::string::npos ? std::string::npos
-                                                   : comma - pos);
+    tok.assign(raw, pos,
+               comma == std::string::npos ? std::string::npos : comma - pos);
     char* end = nullptr;
     const double v = std::strtod(tok.c_str(), &end);
     if (end != tok.c_str()) out.push_back(v);

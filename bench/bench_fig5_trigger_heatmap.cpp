@@ -7,6 +7,7 @@
 #include <cstdio>
 
 #include "bench_common.h"
+#include "common/check.h"
 #include "tensor/ops.h"
 
 int main() {
@@ -46,6 +47,8 @@ int main() {
   double total_dev = 0.0;
   std::size_t peak_frame = 0;
   double peak_dev = 0.0;
+  MMHAR_REQUIRE(clean.size() == frames * hw && triggered.size() == frames * hw,
+                "DRAI cubes must hold exactly frames*hw samples");
   for (std::size_t f = 0; f < frames; ++f) {
     Tensor cf({clean.dim(1), clean.dim(2)});
     Tensor tf = cf;
@@ -69,6 +72,7 @@ int main() {
   // Visualize the frame where the trigger is most visible (Fig. 5a/5b).
   Tensor cf({clean.dim(1), clean.dim(2)});
   Tensor tf = cf;
+  MMHAR_REQUIRE(peak_frame < frames, "peak frame index out of range");
   std::copy(clean.data() + peak_frame * hw,
             clean.data() + (peak_frame + 1) * hw, cf.data());
   std::copy(triggered.data() + peak_frame * hw,

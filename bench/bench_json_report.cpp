@@ -64,6 +64,8 @@ Tensor scalar_drai_sequence(const std::vector<dsp::RadarCube>& frames,
   Tensor seq({frames.size(), R, A});
   const auto range_window =
       dsp::make_window(cfg.range_window, frames.front().num_samples());
+  std::vector<dsp::cfloat> buf;      // hoisted per-row FFT scratch
+  std::vector<dsp::cfloat> abuf(A);  // hoisted angle-FFT scratch
   for (std::size_t f = 0; f < frames.size(); ++f) {
     const dsp::RadarCube& cube = frames[f];
     const std::size_t n = cube.num_samples();
@@ -72,7 +74,7 @@ Tensor scalar_drai_sequence(const std::vector<dsp::RadarCube>& frames,
     s.num_antennas = cube.num_antennas();
     s.range_bins = R;
     s.data.resize(s.num_chirps * s.num_antennas * R);
-    std::vector<dsp::cfloat> buf(n);
+    buf.resize(n);
     for (std::size_t q = 0; q < s.num_chirps; ++q) {
       for (std::size_t k = 0; k < s.num_antennas; ++k) {
         const dsp::cfloat* row = cube.row(q, k);
@@ -91,7 +93,6 @@ Tensor scalar_drai_sequence(const std::vector<dsp::RadarCube>& frames,
         }
       }
     }
-    std::vector<dsp::cfloat> abuf(A);
     for (std::size_t q = 0; q < s.num_chirps; ++q) {
       for (std::size_t r = 0; r < R; ++r) {
         std::fill(abuf.begin(), abuf.end(), dsp::cfloat{0.0F, 0.0F});

@@ -1,11 +1,32 @@
 #include "common/env.h"
 
 #include <cstdlib>
+#include <string>
+
+#include "common/check.h"
+#include "common/env_registry.h"
 
 namespace mmhar {
+namespace {
+
+// Closed knob namespace: an MMHAR_* read that is not declared in
+// common/env_registry.cpp throws, so a knob cannot exist without its
+// registry row (and, via the env-knob-registry analyzer rule, its README
+// row). MMHAR_TEST_* is reserved for unit tests.
+const char* checked(const char* name) {
+  if (!env_name_allowed(name)) {
+    throw Error(std::string("env_*(\"") + name +
+                "\"): MMHAR_ knob is not in the registry; add a row to "
+                "src/common/env_registry.cpp and to README.md's env table "
+                "(see README \"Static analysis\")");
+  }
+  return name;
+}
+
+}  // namespace
 
 long env_int(const char* name, long fallback) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(checked(name));
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const long parsed = std::strtol(v, &end, 10);
@@ -13,7 +34,7 @@ long env_int(const char* name, long fallback) {
 }
 
 double env_double(const char* name, double fallback) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(checked(name));
   if (v == nullptr || *v == '\0') return fallback;
   char* end = nullptr;
   const double parsed = std::strtod(v, &end);
@@ -21,7 +42,7 @@ double env_double(const char* name, double fallback) {
 }
 
 std::string env_string(const char* name, const std::string& fallback) {
-  const char* v = std::getenv(name);
+  const char* v = std::getenv(checked(name));
   return (v == nullptr || *v == '\0') ? fallback : std::string(v);
 }
 

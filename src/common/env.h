@@ -1,8 +1,13 @@
 // Environment-variable knobs for experiment scaling.
 //
 // Experiments default to laptop-scale parameters; larger, closer-to-paper
-// runs are enabled by exporting e.g. MMHAR_SAMPLES_PER_CLASS / MMHAR_EPOCHS /
+// runs are enabled by exporting e.g. MMHAR_REPS_TRAIN / MMHAR_EPOCHS /
 // MMHAR_REPEATS before running the bench binaries.
+//
+// Every MMHAR_* name read through these helpers must be declared in
+// common/env_registry.h — unregistered names throw at the read site, and
+// tools/mmhar_analyze cross-checks all call sites against the registry
+// and README.md's env table at lint time.
 #pragma once
 
 #include <string>

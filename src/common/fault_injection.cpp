@@ -63,7 +63,7 @@ void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
     rules[site] = rule;
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rules_ = std::move(rules);
   calls_.clear();
   fires_.clear();
@@ -72,7 +72,7 @@ void FaultInjector::configure(const std::string& spec, std::uint64_t seed) {
 }
 
 void FaultInjector::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   rules_.clear();
   calls_.clear();
   fires_.clear();
@@ -84,7 +84,7 @@ bool FaultInjector::armed() const {
 }
 
 bool FaultInjector::should_fire(const char* site) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = rules_.find(site);
   if (it == rules_.end()) return false;
   const std::size_t call = ++calls_[site];
@@ -107,18 +107,18 @@ bool FaultInjector::should_fire(const char* site) {
 
 std::uint64_t FaultInjector::draw(std::uint64_t n) {
   MMHAR_REQUIRE(n > 0, "fault draw needs n > 0");
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return rng_.next_u64() % n;
 }
 
 std::size_t FaultInjector::call_count(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = calls_.find(site);
   return it == calls_.end() ? 0 : it->second;
 }
 
 std::size_t FaultInjector::fire_count(const std::string& site) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const auto it = fires_.find(site);
   return it == fires_.end() ? 0 : it->second;
 }

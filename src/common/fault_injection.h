@@ -34,10 +34,11 @@
 
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 
 namespace mmhar {
 
@@ -76,11 +77,11 @@ class FaultInjector {
     std::uint64_t nth = 0;     ///< fire on exactly this call when > 0
   };
 
-  mutable std::mutex mutex_;
-  std::map<std::string, Rule> rules_;
-  std::map<std::string, std::size_t> calls_;
-  std::map<std::string, std::size_t> fires_;
-  Rng rng_{1};
+  mutable Mutex mutex_;
+  std::map<std::string, Rule> rules_ MMHAR_GUARDED_BY(mutex_);
+  std::map<std::string, std::size_t> calls_ MMHAR_GUARDED_BY(mutex_);
+  std::map<std::string, std::size_t> fires_ MMHAR_GUARDED_BY(mutex_);
+  Rng rng_ MMHAR_GUARDED_BY(mutex_) = Rng(1);
 };
 
 /// Fast-path helpers: no-ops (false / 0) when the injector is unarmed.

@@ -2,9 +2,9 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
 
 #include "common/env.h"
+#include "common/mutex.h"
 
 namespace mmhar {
 namespace {
@@ -25,8 +25,10 @@ const char* level_name(LogLevel level) {
   return "?";
 }
 
-std::mutex& log_mutex() {
-  static std::mutex mu;
+// Serializes whole lines onto stderr; there is no guarded data, the
+// capability only orders the writes.
+Mutex& log_mutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -57,7 +59,7 @@ LogMessage::LogMessage(LogLevel level, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (enabled_) {
-    std::lock_guard<std::mutex> lk(log_mutex());
+    MutexLock lk(log_mutex());
     std::fprintf(stderr, "%s\n", os_.str().c_str());
   }
 }

@@ -1,0 +1,84 @@
+// Clang Thread Safety Analysis attribute macros.
+//
+// These wrap clang's -Wthread-safety attributes so lock discipline is
+// *proved at compile time* instead of sampled at runtime: a field tagged
+// MMHAR_GUARDED_BY(mu) can only be touched while `mu` is held, a function
+// tagged MMHAR_REQUIRES(mu) can only be called with `mu` held, and the CI
+// thread-safety leg (clang, -Wthread-safety -Werror; see
+// .github/workflows/ci.yml and the MMHAR_THREAD_SAFETY CMake option)
+// rejects any violation. TSan (the `thread` sanitizer leg) still runs —
+// it catches what the annotations cannot express — but the annotations
+// catch what a test schedule never happens to execute.
+//
+// On non-clang compilers every macro expands to nothing, so GCC builds
+// are byte-for-byte unaffected.
+//
+// The capability-annotated lock types that these attributes name live in
+// common/mutex.h (raw std::mutex cannot be used as a capability because
+// libstdc++ does not annotate it). Every file that uses one of these
+// macros must include this header directly — enforced by the
+// `header-hygiene` rule of tools/mmhar_analyze.
+//
+// Reference: https://clang.llvm.org/docs/ThreadSafetyAnalysis.html
+#pragma once
+
+#if defined(__clang__)
+#define MMHAR_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define MMHAR_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+/// Declares a type to be a lockable capability ("mutex", "shared_mutex").
+#define MMHAR_CAPABILITY(x) MMHAR_THREAD_ANNOTATION(capability(x))
+
+/// Declares an RAII type that acquires in its constructor and releases in
+/// its destructor.
+#define MMHAR_SCOPED_CAPABILITY MMHAR_THREAD_ANNOTATION(scoped_lockable)
+
+/// Data member readable/writable only while `x` is held (shared hold
+/// suffices for reads, exclusive for writes).
+#define MMHAR_GUARDED_BY(x) MMHAR_THREAD_ANNOTATION(guarded_by(x))
+
+/// Pointer member whose *pointee* is protected by `x`.
+#define MMHAR_PT_GUARDED_BY(x) MMHAR_THREAD_ANNOTATION(pt_guarded_by(x))
+
+/// Function precondition: caller holds the capability exclusively.
+#define MMHAR_REQUIRES(...) \
+  MMHAR_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+/// Function precondition: caller holds the capability at least shared.
+#define MMHAR_REQUIRES_SHARED(...) \
+  MMHAR_THREAD_ANNOTATION(requires_shared_capability(__VA_ARGS__))
+
+/// Function acquires the capability exclusively (and does not release it).
+#define MMHAR_ACQUIRE(...) \
+  MMHAR_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+/// Function acquires the capability shared.
+#define MMHAR_ACQUIRE_SHARED(...) \
+  MMHAR_THREAD_ANNOTATION(acquire_shared_capability(__VA_ARGS__))
+
+/// Function releases the capability (generic: exclusive or shared).
+#define MMHAR_RELEASE(...) \
+  MMHAR_THREAD_ANNOTATION(release_generic_capability(__VA_ARGS__))
+
+/// Function tries to acquire; first argument is the success return value.
+#define MMHAR_TRY_ACQUIRE(...) \
+  MMHAR_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+/// Function must be called with the capability NOT held (deadlock guard).
+#define MMHAR_EXCLUDES(...) MMHAR_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+/// Asserts (for the analysis only) that the capability is held here.
+#define MMHAR_ASSERT_CAPABILITY(x) \
+  MMHAR_THREAD_ANNOTATION(assert_capability(x))
+
+/// Function returns a reference to the capability guarding its result.
+#define MMHAR_RETURN_CAPABILITY(x) MMHAR_THREAD_ANNOTATION(lock_returned(x))
+
+/// Escape hatch — OFF-LIMITS in thread_pool.{h,cpp}, dsp/fft.cpp and
+/// dsp/window.cpp (the -Wthread-safety acceptance bar is zero
+/// suppressions there); elsewhere it needs a comment explaining why the
+/// analysis cannot see the discipline.
+#define MMHAR_NO_THREAD_SAFETY_ANALYSIS \
+  MMHAR_THREAD_ANNOTATION(no_thread_safety_analysis)

@@ -4,6 +4,8 @@
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mmhar {
 namespace {
@@ -18,20 +20,23 @@ std::atomic<ThreadPool*> g_pool_override{nullptr};
 
 bool ThreadPool::in_worker() { return tl_in_pool_worker; }
 
-ThreadPool::ThreadPool(std::size_t num_threads) {
-  if (num_threads == 0) {
-    num_threads = std::thread::hardware_concurrency();
-    if (num_threads == 0) num_threads = 2;
-  }
-  workers_.reserve(num_threads);
-  for (std::size_t i = 0; i < num_threads; ++i) {
+std::size_t ThreadPool::resolve_num_threads(std::size_t requested) {
+  if (requested != 0) return requested;
+  const std::size_t hw = std::thread::hardware_concurrency();
+  return hw != 0 ? hw : 2;
+}
+
+ThreadPool::ThreadPool(std::size_t num_threads)
+    : num_threads_(resolve_num_threads(num_threads)) {
+  workers_.reserve(num_threads_);
+  for (std::size_t i = 0; i < num_threads_; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
 }
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     stop_ = true;
   }
   cv_.notify_all();
@@ -43,8 +48,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lk(mu_);
-      cv_.wait(lk, [this] { return stop_ || !tasks_.empty(); });
+      MutexLock lk(mu_);
+      while (!stop_ && tasks_.empty()) cv_.wait(mu_);
       if (stop_ && tasks_.empty()) return;
       task = std::move(tasks_.front());
       tasks_.pop_front();
@@ -55,7 +60,7 @@ void ThreadPool::worker_loop() {
 
 void ThreadPool::enqueue(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lk(mu_);
+    MutexLock lk(mu_);
     tasks_.push_back(std::move(task));
   }
   cv_.notify_one();
@@ -97,17 +102,18 @@ void ThreadPool::parallel_for_chunked(
   //  3. the caller's wait predicate reads `done` under the same mutex, so
   //     it cannot return — and destroy the stack-allocated `state` —
   //     until the last worker has released `state.mu` for the final time.
-  // The predicate must NOT read the atomic counter: the caller could then
+  // The wait loop must NOT read the atomic counter: the caller could then
   // observe zero (and free `state`) in the window between the last
   // worker's decrement and its mutex acquisition.
-  // `error` is written under `state.mu` and read after the wait, so it is
-  // ordered by the mutex alone.
+  // `error` is written under `state.mu` and copied out inside the same
+  // critical section that observes `done`, so it is ordered by the mutex
+  // alone.
   struct State {
     std::atomic<std::size_t> remaining;
-    std::mutex mu;
-    std::condition_variable done_cv;
-    std::exception_ptr error;
-    bool done = false;
+    Mutex mu;
+    CondVar done_cv;
+    std::exception_ptr error MMHAR_GUARDED_BY(mu);
+    bool done MMHAR_GUARDED_BY(mu) = false;
   } state;
   state.remaining.store(parts - 1, std::memory_order_relaxed);
 
@@ -120,13 +126,13 @@ void ThreadPool::parallel_for_chunked(
       try {
         if (lo < hi) fn(lo, hi);
       } catch (...) {
-        std::lock_guard<std::mutex> lk(state.mu);
+        MutexLock lk(state.mu);
         if (!state.error) state.error = std::current_exception();
       }
       if (state.remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
         // Set the flag and notify under the lock: the caller can only wake
         // and destroy `state` after this thread releases `state.mu`.
-        std::lock_guard<std::mutex> lk(state.mu);
+        MutexLock lk(state.mu);
         state.done = true;
         state.done_cv.notify_one();
       }
@@ -140,12 +146,17 @@ void ThreadPool::parallel_for_chunked(
     caller_error = std::current_exception();
   }
 
+  std::exception_ptr worker_error;
   {
-    std::unique_lock<std::mutex> lk(state.mu);
-    state.done_cv.wait(lk, [&state] { return state.done; });
+    MutexLock lk(state.mu);
+    while (!state.done) state.done_cv.wait(state.mu);
+    // Copy the error out under the same hold that observed `done`: a read
+    // after the scope would touch guarded state with the lock dropped
+    // (a latent discipline violation the annotations surfaced).
+    worker_error = state.error;
   }
   if (caller_error) std::rethrow_exception(caller_error);
-  if (state.error) std::rethrow_exception(state.error);
+  if (worker_error) std::rethrow_exception(worker_error);
 }
 
 ThreadPool& global_pool() {

@@ -67,6 +67,7 @@ void TriggerDetector::train(const har::Dataset& clean,
   const auto grads = net_.gradients();
   const std::size_t hw = config_.height * config_.width;
 
+  std::vector<std::size_t> labels;  // hoisted batch-label scratch
   for (std::size_t epoch = 0; epoch < config_.epochs; ++epoch) {
     rng.shuffle(order);
     double loss_sum = 0.0;
@@ -77,7 +78,7 @@ void TriggerDetector::train(const har::Dataset& clean,
           std::min(order.size(), start + config_.batch_size);
       const std::size_t bsz = end - start;
       Tensor batch({bsz, 1, config_.height, config_.width});
-      std::vector<std::size_t> labels(bsz);
+      labels.assign(bsz, 0);
       for (std::size_t b = 0; b < bsz; ++b) {
         const Example& e = examples[order[start + b]];
         const Tensor& h = e.ds->sample(e.sample).heatmaps;

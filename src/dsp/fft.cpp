@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace mmhar::dsp {
@@ -50,17 +50,21 @@ Plan build_plan(std::size_t n) {
 // lock — try_emplace discards the duplicate if another thread won the
 // race. std::map nodes are address-stable, so returned references survive
 // later insertions.
+struct PlanCache {
+  SharedMutex mu;
+  std::map<std::size_t, Plan> plans MMHAR_GUARDED_BY(mu);
+};
+
 const Plan& plan_for(std::size_t n) {
-  static std::shared_mutex mu;
-  static std::map<std::size_t, Plan> plans;
+  static PlanCache cache;
   {
-    std::shared_lock<std::shared_mutex> lk(mu);
-    const auto it = plans.find(n);
-    if (it != plans.end()) return it->second;
+    ReaderLock lk(cache.mu);
+    const auto it = cache.plans.find(n);
+    if (it != cache.plans.end()) return it->second;
   }
   Plan built = build_plan(n);
-  std::unique_lock<std::shared_mutex> lk(mu);
-  return plans.try_emplace(n, std::move(built)).first->second;
+  WriterLock lk(cache.mu);
+  return cache.plans.try_emplace(n, std::move(built)).first->second;
 }
 
 // Per-thread SoA scratch for the batched engine: re/im hold one lane block

@@ -6,7 +6,7 @@
 // All radar processing dimensions (ADC samples, chirps, angle padding) are
 // powers of two, so a radix-2 kernel suffices. Twiddle factors and the
 // bit-reversal permutation are computed once per size and published through
-// a read-mostly plan cache (`std::shared_mutex`; plans are built outside
+// a read-mostly plan cache (annotated `mmhar::SharedMutex`; plans are built outside
 // the lock so concurrent first-use of two sizes never serializes). The
 // transforms themselves are lock-free and allocation-free: each worker
 // thread keeps a reusable split real/imag scratch workspace.

@@ -2,11 +2,11 @@
 
 #include <cmath>
 #include <map>
-#include <mutex>
-#include <shared_mutex>
 #include <utility>
 
 #include "common/check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
 
 namespace mmhar::dsp {
 namespace {
@@ -41,19 +41,28 @@ std::vector<float> make_window(WindowKind kind, std::size_t n) {
   return w;
 }
 
+namespace {
+
+using WindowKey = std::pair<int, std::size_t>;
+
+struct WindowCache {
+  SharedMutex mu;
+  std::map<WindowKey, std::vector<float>> entries MMHAR_GUARDED_BY(mu);
+};
+
+}  // namespace
+
 const std::vector<float>& cached_window(WindowKind kind, std::size_t n) {
-  using Key = std::pair<int, std::size_t>;
-  static std::shared_mutex mu;
-  static std::map<Key, std::vector<float>> cache;
-  const Key key{static_cast<int>(kind), n};
+  static WindowCache cache;
+  const WindowKey key{static_cast<int>(kind), n};
   {
-    std::shared_lock<std::shared_mutex> lk(mu);
-    const auto it = cache.find(key);
-    if (it != cache.end()) return it->second;
+    ReaderLock lk(cache.mu);
+    const auto it = cache.entries.find(key);
+    if (it != cache.entries.end()) return it->second;
   }
   std::vector<float> built = make_window(kind, n);  // outside the lock
-  std::unique_lock<std::shared_mutex> lk(mu);
-  return cache.try_emplace(key, std::move(built)).first->second;
+  WriterLock lk(cache.mu);
+  return cache.entries.try_emplace(key, std::move(built)).first->second;
 }
 
 float coherent_gain(const std::vector<float>& window) {

@@ -182,6 +182,7 @@ TrainHistory train_model(HarModel& model, const Dataset& train,
   auto& indices = state.indices;
   const auto& val_indices = state.val_indices;
   const std::size_t start_epoch = state.next_epoch;
+  std::vector<std::size_t> batch_idx;  // hoisted per-batch index scratch
   for (std::size_t epoch = start_epoch; epoch < config.epochs; ++epoch) {
     rng.shuffle(indices);
     double loss_sum = 0.0;
@@ -192,8 +193,7 @@ TrainHistory train_model(HarModel& model, const Dataset& train,
          start += config.batch_size) {
       const std::size_t end =
           std::min(indices.size(), start + config.batch_size);
-      const std::vector<std::size_t> batch_idx(indices.begin() + start,
-                                               indices.begin() + end);
+      batch_idx.assign(indices.begin() + start, indices.begin() + end);
       const Tensor batch = train.batch_of(batch_idx);
       const auto labels = train.labels_of(batch_idx);
 
@@ -254,9 +254,10 @@ std::vector<std::size_t> predict_all(HarModel& model,
   std::vector<std::size_t> preds;
   preds.reserve(dataset.size());
   constexpr std::size_t kEvalBatch = 32;
+  std::vector<std::size_t> idx;  // hoisted per-batch index scratch
   for (std::size_t start = 0; start < dataset.size(); start += kEvalBatch) {
     const std::size_t end = std::min(dataset.size(), start + kEvalBatch);
-    std::vector<std::size_t> idx;
+    idx.clear();
     for (std::size_t i = start; i < end; ++i) idx.push_back(i);
     const Tensor logits =
         model.forward(dataset.batch_of(idx), /*training=*/false);

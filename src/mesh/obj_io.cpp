@@ -1,5 +1,6 @@
 #include "mesh/obj_io.h"
 
+#include <cstdio>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -20,9 +21,24 @@ void write_obj(std::ostream& os, const TriMesh& mesh) {
 }
 
 void save_obj(const std::string& path, const TriMesh& mesh) {
-  std::ofstream os(path);
-  if (!os) throw IoError("save_obj: cannot open " + path);
-  write_obj(os, mesh);
+  // OBJ is a plain-text interchange format consumed by external tools
+  // (Blender, meshlab), so it cannot live inside save_artifact's binary
+  // container. Keep the export crash-safe the same way the store does:
+  // write a sibling temp file, then atomically rename over the target.
+  const std::string tmp = path + ".tmp";
+  {
+    // Third-party text format; made atomic via temp file + rename below
+    // instead of save_artifact. mmhar-lint: allow(naked-cache-write)
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw IoError("save_obj: cannot open " + tmp);
+    write_obj(os, mesh);
+    os.flush();
+    if (!os) throw IoError("save_obj: write failed for " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw IoError("save_obj: cannot rename " + tmp + " to " + path);
+  }
 }
 
 void save_obj_sequence(const std::string& prefix,
@@ -38,9 +54,11 @@ void save_obj_sequence(const std::string& prefix,
 TriMesh read_obj(std::istream& is) {
   TriMesh mesh;
   std::string line;
+  std::string tag;    // hoisted per-line scratch
+  std::string token;  // hoisted per-face scratch
   while (std::getline(is, line)) {
     std::istringstream ls(line);
-    std::string tag;
+    tag.clear();  // `ls >> tag` leaves it untouched on an empty line
     ls >> tag;
     if (tag == "v") {
       Vec3 v;
@@ -51,7 +69,7 @@ TriMesh read_obj(std::istream& is) {
       // Accept "f i j k" with optional /texture/normal suffixes.
       std::size_t idx[3];
       for (auto& out : idx) {
-        std::string token;
+        token.clear();  // extraction at EOF leaves the string untouched
         ls >> token;
         if (token.empty()) throw IoError("read_obj: malformed face: " + line);
         out = static_cast<std::size_t>(

@@ -222,6 +222,8 @@ dsp::RadarCube Simulator::synthesize(const std::vector<Scatterer>& scatterers,
                                            std::sin(dphi_q));
           std::complex<double> base =
               std::polar(s.amplitude, phi0);
+          MMHAR_REQUIRE(re.size() == q_n * n_n && tab_re.size() == n_n,
+                        "IF plane size mismatch before accumulation");
           for (std::size_t q = 0; q < q_n; ++q) {
             const float br = static_cast<float>(base.real());
             const float bi = static_cast<float>(base.imag());
@@ -235,6 +237,8 @@ dsp::RadarCube Simulator::synthesize(const std::vector<Scatterer>& scatterers,
           }
         }
         // Interleave the planes back into the cube, one write per row.
+        MMHAR_REQUIRE(re.size() == q_n * n_n && im.size() == q_n * n_n,
+                      "IF plane size mismatch before interleave");
         for (std::size_t q = 0; q < q_n; ++q) {
           dsp::cfloat* row = cube.row(q, k);
           const float* row_re = re.data() + q * n_n;

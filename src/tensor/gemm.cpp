@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/check.h"
 #include "common/thread_pool.h"
 
 namespace mmhar {
@@ -233,6 +234,8 @@ PackedA pack_a_impl(Layout layout, std::size_t m, std::size_t k,
   packed.k = k;
   const std::size_t row_tiles = (m + kMR - 1) / kMR;
   packed.data.resize(row_tiles * kMR * k);
+  MMHAR_REQUIRE(packed.data.size() == row_tiles * kMR * k,
+                "packed-A buffer must cover every row tile");
   for (std::size_t it = 0; it < row_tiles; ++it) {
     const std::size_t i0 = it * kMR;
     const std::size_t mr = std::min(kMR, m - i0);

@@ -1,0 +1,10 @@
+#pragma once
+#include <mutex>
+
+#include "common/thread_annotations.h"
+
+struct FixtureCounter {
+  std::mutex mu;
+  int hits = 0;
+  int safe MMHAR_GUARDED_BY(mu) = 0;
+};

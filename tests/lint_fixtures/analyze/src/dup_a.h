@@ -1,0 +1,4 @@
+#pragma once
+namespace fixture {
+inline int twice(int x) { return 2 * x; }
+}  // namespace fixture

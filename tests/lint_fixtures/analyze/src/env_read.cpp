@@ -1,0 +1,9 @@
+long env_int(const char* name, long fallback);
+
+long fixture_env_reads() {
+  const long used = env_int("MMHAR_FIXTURE_USED", 0);
+  const long undoc = env_int("MMHAR_FIXTURE_UNDOC", 0);
+  const long rogue = env_int("MMHAR_FIXTURE_ROGUE", 0);
+  const long test_exempt = env_int("MMHAR_TEST_ANYTHING", 0);
+  return used + undoc + rogue + test_exempt;
+}

@@ -1,0 +1,7 @@
+#pragma once
+#include <mutex>
+
+struct FixtureGuarded {
+  std::mutex mu;
+  int value MMHAR_GUARDED_BY(mu) = 0;
+};

@@ -1,0 +1,1 @@
+int fixture_missing_pragma_once = 0;

@@ -1,0 +1,6 @@
+#include <cstdlib>
+
+int fixture_allowed() {
+  // seeded for the suppression test. mmhar-lint: allow(banned-rng)
+  return rand();
+}

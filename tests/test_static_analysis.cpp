@@ -1,0 +1,271 @@
+// End-to-end tests for the static-analysis toolchain: mmhar_lint and
+// mmhar_analyze are run as real subprocesses against the seeded fixture
+// trees under tests/lint_fixtures/, and the exact (rule, file, line)
+// findings are asserted.  The binaries and repo root are injected by
+// tests/CMakeLists.txt via MMHAR_LINT_BIN / MMHAR_ANALYZE_BIN /
+// MMHAR_REPO_ROOT so the test works from any build directory and under
+// every sanitizer leg.
+
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run(const std::string& cmd) {
+  RunResult r;
+  const std::string full = cmd + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    r.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  if (status >= 0 && WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+std::string q(const fs::path& p) { return "\"" + p.string() + "\""; }
+
+const fs::path kRoot = MMHAR_REPO_ROOT;
+const std::string kLint = std::string("\"") + MMHAR_LINT_BIN + "\"";
+const std::string kAnalyze = std::string("\"") + MMHAR_ANALYZE_BIN + "\"";
+
+const fs::path kLintFixture = kRoot / "tests" / "lint_fixtures" / "lint" / "src";
+const fs::path kAnalyzeFixture = kRoot / "tests" / "lint_fixtures" / "analyze";
+
+fs::path scratch_dir() {
+  const fs::path d = fs::temp_directory_path() / "mmhar_static_analysis_test";
+  fs::create_directories(d);
+  return d;
+}
+
+void write_file(const fs::path& p, const std::string& text) {
+  std::ofstream out(p);
+  out << text;
+  ASSERT_TRUE(out.good()) << "failed to write " << p;
+}
+
+std::string read_file(const fs::path& p) {
+  std::ifstream in(p);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+// Every (rule, file) pair seeded into the lint fixture tree, with the
+// count the fixture produces; doubles as a baseline that waives them all.
+const std::string kLintFixtureBaseline =
+    "banned-rng src/bad.cpp 1\n"
+    "loop-alloc src/bad.cpp 1\n"
+    "missing-pragma-once src/bad_header.h 1\n"
+    "naked-alloc src/bad.cpp 1\n"
+    "naked-cache-write src/bad.cpp 1\n"
+    "parallel-ref-accum src/bad.cpp 1\n"
+    "unchecked-data-arith src/bad.cpp 1\n";
+
+TEST(LintFixtures, FindsEverySeededViolationAtExactLines) {
+  const RunResult r = run(kLint + " " + q(kLintFixture));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const char* expected[] = {
+      "src/bad.cpp:14: [banned-rng]",
+      "src/bad.cpp:15: [naked-alloc]",
+      "src/bad.cpp:16: [unchecked-data-arith]",
+      "src/bad.cpp:18: [loop-alloc]",
+      "src/bad.cpp:21: [naked-cache-write]",
+      "src/bad.cpp:28: [parallel-ref-accum]",
+      "src/bad_header.h:1: [missing-pragma-once]",
+  };
+  for (const char* e : expected)
+    EXPECT_NE(r.output.find(e), std::string::npos) << "missing finding: " << e
+                                                   << "\n" << r.output;
+  EXPECT_NE(r.output.find("scanned 3 file(s), 7 violation(s) (0 baselined)"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+TEST(LintFixtures, AllowCommentSilencesTheRule) {
+  // suppressed.cpp carries a seeded rand() with a justified allow-comment on
+  // the line above; it must contribute zero findings.
+  const RunResult r = run(kLint + " " + q(kLintFixture));
+  EXPECT_EQ(r.output.find("suppressed.cpp"), std::string::npos) << r.output;
+}
+
+TEST(LintFixtures, BaselineWaivesExactCounts) {
+  const fs::path base = scratch_dir() / "base_all.txt";
+  write_file(base, kLintFixtureBaseline);
+  const RunResult r =
+      run(kLint + " " + q(kLintFixture) + " --baseline " + q(base));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("scanned 3 file(s), 7 violation(s) (7 baselined)"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("OK"), std::string::npos) << r.output;
+}
+
+TEST(LintFixtures, CountAboveBaselineFails) {
+  // Same baseline minus the banned-rng row: that one finding is now new
+  // debt and must fail the run even though six others stay waived.
+  std::string rows = kLintFixtureBaseline;
+  const std::string drop = "banned-rng src/bad.cpp 1\n";
+  const auto pos = rows.find(drop);
+  ASSERT_NE(pos, std::string::npos);
+  rows.erase(pos, drop.size());
+  const fs::path base = scratch_dir() / "base_missing_rng.txt";
+  write_file(base, rows);
+  const RunResult r =
+      run(kLint + " " + q(kLintFixture) + " --baseline " + q(base));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(
+      r.output.find("rule 'banned-rng': 1 violation(s), baseline allows 0"),
+      std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("(6 baselined)"), std::string::npos) << r.output;
+}
+
+TEST(LintFixtures, ShrunkCountPrintsTightenNote) {
+  // A baseline looser than reality still passes, but the improvement is
+  // called out so the baseline gets ratcheted down.
+  std::string rows = kLintFixtureBaseline;
+  const std::string tight = "banned-rng src/bad.cpp 1\n";
+  const auto pos = rows.find(tight);
+  ASSERT_NE(pos, std::string::npos);
+  rows.replace(pos, tight.size(), "banned-rng src/bad.cpp 5\n");
+  const fs::path base = scratch_dir() / "base_loose.txt";
+  write_file(base, rows);
+  const RunResult r =
+      run(kLint + " " + q(kLintFixture) + " --baseline " + q(base));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find(
+                "'banned-rng' improved to 1 (baseline 5) — tighten the baseline"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(LintFixtures, UpdateBaselineWritesCurrentCounts) {
+  const fs::path base = scratch_dir() / "base_rewritten.txt";
+  fs::remove(base);
+  const RunResult w = run(kLint + " " + q(kLintFixture) + " --baseline " +
+                          q(base) + " --update-baseline");
+  EXPECT_EQ(w.exit_code, 0) << w.output;
+  EXPECT_NE(w.output.find(
+                "baseline rewritten with 7 violation(s) across 7 (rule, file) pair(s)"),
+            std::string::npos)
+      << w.output;
+  const std::string written = read_file(base);
+  std::istringstream rows(kLintFixtureBaseline);
+  std::string row;
+  while (std::getline(rows, row))
+    EXPECT_NE(written.find(row), std::string::npos)
+        << "missing baseline row: " << row << "\n" << written;
+  // The file it wrote must immediately green-light a re-run.
+  const RunResult r =
+      run(kLint + " " + q(kLintFixture) + " --baseline " + q(base));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(AnalyzeFixtures, FindsEverySeededViolationAtExactLines) {
+  const fs::path registry = kAnalyzeFixture / "registry.cpp";
+  const fs::path readme = kAnalyzeFixture / "readme.md";
+  const RunResult r = run(kAnalyze + " --registry " + q(registry) +
+                          " --readme " + q(readme) + " " +
+                          q(kAnalyzeFixture / "src"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::vector<std::string> expected = {
+      "src/bad_lock.h:8: [lock-annotation-coverage]",
+      "member `int hits = 0` needs MMHAR_GUARDED_BY",
+      "src/dup_b.h:3: [header-hygiene] function 'fixture::twice' is also "
+      "defined in src/dup_a.h:3",
+      "src/env_read.cpp:6: [env-knob-registry] 'MMHAR_FIXTURE_ROGUE' is read "
+      "here but has no row in the env registry",
+      "src/missing_include.h:6: [header-hygiene] MMHAR_* thread-safety macros "
+      "used without a direct #include of common/thread_annotations.h",
+      registry.string() + ":5: [env-knob-registry] registry row "
+      "'MMHAR_FIXTURE_UNDOC' is missing from the env table",
+      registry.string() + ":6: [env-knob-registry] registry row "
+      "'MMHAR_FIXTURE_STALE' is never read",
+      readme.string() + ":7: [env-knob-registry] README env-table row "
+      "'MMHAR_FIXTURE_ORPHAN' has no registry row",
+  };
+  for (const auto& e : expected)
+    EXPECT_NE(r.output.find(e), std::string::npos) << "missing finding: " << e
+                                                   << "\n" << r.output;
+  EXPECT_NE(r.output.find("scanned 6 file(s), 7 violation(s)"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeFixtures, SuppressionAndTestPrefixStaySilent) {
+  const RunResult r = run(kAnalyze + " --registry " +
+                          q(kAnalyzeFixture / "registry.cpp") + " --readme " +
+                          q(kAnalyzeFixture / "readme.md") + " " +
+                          q(kAnalyzeFixture / "src"));
+  // suppressed.h's unguarded member carries mmhar-analyze: allow(...), and
+  // MMHAR_TEST_* reads are exempt from the registry by prefix.
+  EXPECT_EQ(r.output.find("suppressed.h"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("MMHAR_TEST_ANYTHING"), std::string::npos)
+      << r.output;
+}
+
+TEST(AnalyzeRealTree, IsCleanWithTheCheckedInRegistry) {
+  const RunResult r = run(kAnalyze + " --registry " +
+                          q(kRoot / "src" / "common" / "env_registry.cpp") +
+                          " --readme " + q(kRoot / "README.md") + " " +
+                          q(kRoot / "src") + " " + q(kRoot / "bench") + " " +
+                          q(kRoot / "tools"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
+}
+
+TEST(AnalyzeRealTree, DeletingAnyRegistryRowFails) {
+  // The acceptance property for the closed env-knob namespace: removing any
+  // single row from the real registry must turn the analyzer red, because
+  // the README row and/or the read site it backed becomes unaccounted for.
+  const fs::path real_registry = kRoot / "src" / "common" / "env_registry.cpp";
+  std::ifstream in(real_registry);
+  ASSERT_TRUE(in.good());
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+
+  std::vector<std::size_t> row_lines;
+  for (std::size_t i = 0; i < lines.size(); ++i)
+    if (lines[i].find("{\"MMHAR_") != std::string::npos) row_lines.push_back(i);
+  ASSERT_GE(row_lines.size(), 10u)
+      << "registry rows not found — did the row format change?";
+
+  const fs::path tmp = scratch_dir() / "registry_minus_one.cpp";
+  for (const std::size_t drop : row_lines) {
+    std::ostringstream pruned;
+    for (std::size_t i = 0; i < lines.size(); ++i)
+      if (i != drop) pruned << lines[i] << "\n";
+    write_file(tmp, pruned.str());
+    const RunResult r = run(kAnalyze + " --registry " + q(tmp) + " --readme " +
+                            q(kRoot / "README.md") + " " + q(kRoot / "src") +
+                            " " + q(kRoot / "bench") + " " + q(kRoot / "tools"));
+    EXPECT_EQ(r.exit_code, 1)
+        << "deleting registry row `" << lines[drop]
+        << "` went unnoticed:\n" << r.output;
+    EXPECT_NE(r.output.find("[env-knob-registry]"), std::string::npos)
+        << r.output;
+  }
+}
+
+}  // namespace

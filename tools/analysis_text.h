@@ -1,0 +1,173 @@
+// Text utilities shared by the repo's static-analysis tools
+// (mmhar_lint.cpp, mmhar_analyze.cpp).
+//
+// Header-only and dependency-free on purpose: the tools must build and
+// run standalone (a single g++/clang++ invocation, see the CI lint job)
+// even when src/ itself does not compile.
+#pragma once
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace mmhar_tools {
+
+// Strip // and /* */ comments; string and char literal *contents* are
+// blanked (the quotes' positions are preserved as spaces) so rule regexes
+// never fire on prose. Block-comment state carries across lines via
+// `in_block_comment`.
+inline std::string code_only(const std::string& line, bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false;
+  bool in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    if (in_char) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '/' && next == '/') break;
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+      out.push_back(' ');
+      continue;
+    }
+    if (c == '\'') {
+      in_char = true;
+      out.push_back(' ');
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+// As code_only, but string-literal contents survive — used where a rule
+// must read names out of literals (env-var call sites, registry rows).
+inline std::string code_keeping_strings(const std::string& line,
+                                        bool& in_block_comment) {
+  std::string out;
+  out.reserve(line.size());
+  bool in_string = false;
+  bool in_char = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
+    if (in_block_comment) {
+      if (c == '*' && next == '/') {
+        in_block_comment = false;
+        ++i;
+      }
+      continue;
+    }
+    if (in_string) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < line.size()) {
+        out.push_back(next);
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (in_char) {
+      out.push_back(c);
+      if (c == '\\' && i + 1 < line.size()) {
+        out.push_back(next);
+        ++i;
+      } else if (c == '\'') {
+        in_char = false;
+      }
+      continue;
+    }
+    if (c == '/' && next == '/') break;
+    if (c == '/' && next == '*') {
+      in_block_comment = true;
+      ++i;
+      continue;
+    }
+    if (c == '"') in_string = true;
+    if (c == '\'') in_char = true;
+    out.push_back(c);
+  }
+  return out;
+}
+
+// A violation on `idx` (0-based) is suppressed when the offending line or
+// the line above carries `<marker>: allow(<rule>)` — e.g.
+// `// mmhar-lint: allow(loop-alloc) justification...`.
+inline bool is_suppressed(const std::vector<std::string>& raw_lines,
+                          std::size_t idx, const std::string& marker,
+                          const std::string& rule) {
+  const std::string needle = marker + ": allow(" + rule + ")";
+  if (raw_lines[idx].find(needle) != std::string::npos) return true;
+  return idx > 0 && raw_lines[idx - 1].find(needle) != std::string::npos;
+}
+
+// Read a file into lines; false when unreadable.
+inline bool read_lines(const std::filesystem::path& path,
+                       std::vector<std::string>& lines) {
+  lines.clear();
+  std::ifstream in(path);
+  if (!in) return false;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(std::move(line));
+  return true;
+}
+
+// All C++ sources under `root`, sorted for deterministic reports.
+inline std::vector<std::filesystem::path> collect_sources(
+    const std::filesystem::path& root) {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    const auto ext = entry.path().extension().string();
+    if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc")
+      files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+// Display key for a file under `root`: "<root-basename>/<relative-path>",
+// so multi-root runs ("src", "bench", "tools") stay unambiguous and
+// baseline entries are stable regardless of where the tool runs from.
+inline std::string display_path(const std::filesystem::path& root,
+                                const std::filesystem::path& file) {
+  const std::string base = root.filename().string();
+  const std::string rel =
+      std::filesystem::relative(file, root).generic_string();
+  return base.empty() ? rel : base + "/" + rel;
+}
+
+}  // namespace mmhar_tools

@@ -38,7 +38,11 @@
 // that may shrink but never grow. New violations fail the run (exit 1).
 //
 // Usage:
-//   mmhar_lint <root> [--baseline <file>] [--update-baseline]
+//   mmhar_lint <root>... [--baseline <file>] [--update-baseline]
+//
+// Multiple roots may be given (e.g. `mmhar_lint src bench tools`); report
+// and baseline paths are prefixed with the root's basename
+// ("src/nn/conv.cpp") so one baseline file covers all of them.
 //
 // Run in CI and as a ctest (see tools/CMakeLists.txt).
 
@@ -53,81 +57,23 @@
 #include <string>
 #include <vector>
 
+#include "analysis_text.h"
+
 namespace fs = std::filesystem;
+using mmhar_tools::code_only;
 
 namespace {
 
 struct Violation {
   std::string rule;
-  std::string file;   // path relative to the scanned root
+  std::string file;   // display path: <root-basename>/<relative-path>
   std::size_t line;   // 1-based
   std::string message;
 };
 
-// ---- Small text utilities --------------------------------------------------
-
-// Strip // comments and the contents of string literals so rule regexes
-// don't fire on prose. Block comments are handled across lines via the
-// caller-maintained `in_block_comment` flag.
-std::string code_only(const std::string& line, bool& in_block_comment) {
-  std::string out;
-  out.reserve(line.size());
-  bool in_string = false;
-  bool in_char = false;
-  for (std::size_t i = 0; i < line.size(); ++i) {
-    const char c = line[i];
-    const char next = i + 1 < line.size() ? line[i + 1] : '\0';
-    if (in_block_comment) {
-      if (c == '*' && next == '/') {
-        in_block_comment = false;
-        ++i;
-      }
-      continue;
-    }
-    if (in_string) {
-      if (c == '\\') {
-        ++i;
-      } else if (c == '"') {
-        in_string = false;
-      }
-      out.push_back(' ');
-      continue;
-    }
-    if (in_char) {
-      if (c == '\\') {
-        ++i;
-      } else if (c == '\'') {
-        in_char = false;
-      }
-      out.push_back(' ');
-      continue;
-    }
-    if (c == '/' && next == '/') break;
-    if (c == '/' && next == '*') {
-      in_block_comment = true;
-      ++i;
-      continue;
-    }
-    if (c == '"') {
-      in_string = true;
-      out.push_back(' ');
-      continue;
-    }
-    if (c == '\'') {
-      in_char = true;
-      out.push_back(' ');
-      continue;
-    }
-    out.push_back(c);
-  }
-  return out;
-}
-
 bool is_suppressed(const std::vector<std::string>& raw_lines, std::size_t idx,
                    const std::string& rule) {
-  const std::string needle = "mmhar-lint: allow(" + rule + ")";
-  if (raw_lines[idx].find(needle) != std::string::npos) return true;
-  return idx > 0 && raw_lines[idx - 1].find(needle) != std::string::npos;
+  return mmhar_tools::is_suppressed(raw_lines, idx, "mmhar-lint", rule);
 }
 
 // ---- Per-file rule engine --------------------------------------------------
@@ -210,6 +156,12 @@ class FileLinter {
     static const std::regex call_re(R"(parallel_for(_chunked)?\s*\()");
     static const std::regex accum_re(
         R"(([A-Za-z_]\w*)(\s*\[[^\]]*\])?(\.\w+|->\w+)?\s*(\+=|-=|\*=|/=|\+\+|--))");
+    // Scratch strings hoisted out of the scan loops (this linter holds
+    // itself to its own loop-alloc rule).
+    std::string cap_list_;
+    std::string body_;
+    std::string tail_;
+    std::string name_;
     for (std::size_t i = 0; i < code_.size(); ++i) {
       if (!std::regex_search(code_[i], call_re)) continue;
       // Find the lambda's opening brace at or after the call, then the
@@ -229,8 +181,9 @@ class FileLinter {
       if (open_col == std::string::npos) continue;  // no lambda body found
       // Only [&] (or [&, ...]) captures can alias shared accumulators.
       const auto cap_start = code_[open_line].find('[');
-      const std::string cap_list = code_[open_line].substr(
-          cap_start, code_[open_line].find(']', cap_start) - cap_start);
+      cap_list_.assign(code_[open_line], cap_start,
+                       code_[open_line].find(']', cap_start) - cap_start);
+      const std::string& cap_list = cap_list_;
       if (cap_list.find('&') == std::string::npos) continue;
 
       int depth = 0;
@@ -256,14 +209,17 @@ class FileLinter {
           break;
         }
       }
-      const std::string body = body_os.str();
+      body_ = body_os.str();
+      const std::string& body = body_;
 
       for (std::size_t j = open_line; j <= end_line; ++j) {
         std::smatch m;
-        std::string tail = code_[j];
+        tail_ = code_[j];
+        std::string& tail = tail_;
         std::size_t consumed = 0;
         while (std::regex_search(tail, m, accum_re)) {
-          const std::string name = m[1].str();
+          name_ = m[1].str();
+          const std::string& name = name_;
           // `declared in the body` approximated as: some line of the body
           // introduces `name` after a type-ish token or as a lambda param.
           const std::regex decl_re(
@@ -350,8 +306,9 @@ class FileLinter {
     if (rel_path_.size() < 2 ||
         rel_path_.compare(rel_path_.size() - 2, 2, ".h") != 0)
       return;
+    std::string t;  // hoisted per-line scratch
     for (std::size_t i = 0; i < code_.size(); ++i) {
-      std::string t = code_[i];
+      t = code_[i];
       t.erase(std::remove_if(t.begin(), t.end(),
                              [](unsigned char c) { return std::isspace(c); }),
               t.end());
@@ -390,12 +347,15 @@ std::map<BaselineKey, std::size_t> load_baseline(const fs::path& path) {
 
 void write_baseline(const fs::path& path,
                     const std::map<BaselineKey, std::size_t>& counts) {
+  // Writes a git-tracked config file on explicit --update-baseline, not a
+  // runtime cache; a partial write is caught by `git diff` review, so the
+  // atomicity machinery buys nothing. mmhar-lint: allow(naked-cache-write)
   std::ofstream out(path);
   out << "# mmhar_lint baseline — pre-existing (rule, file) violation "
          "counts.\n"
       << "# Counts may shrink (tighten this file when they do) but a count\n"
       << "# above its baseline fails the build. Regenerate with\n"
-      << "#   mmhar_lint src --baseline tools/lint_baseline.txt "
+      << "#   mmhar_lint src bench tools --baseline tools/lint_baseline.txt "
          "--update-baseline\n";
   for (const auto& [key, count] : counts)
     out << key.first << ' ' << key.second << ' ' << count << '\n';
@@ -404,55 +364,48 @@ void write_baseline(const fs::path& path,
 }  // namespace
 
 int main(int argc, char** argv) {
-  fs::path root;
+  std::vector<fs::path> roots;
   fs::path baseline_path;
   bool update_baseline = false;
+  std::string arg;  // hoisted per-flag scratch
   for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+    arg = argv[i];
     if (arg == "--baseline" && i + 1 < argc) {
       baseline_path = argv[++i];
     } else if (arg == "--update-baseline") {
       update_baseline = true;
-    } else if (root.empty()) {
-      root = arg;
-    } else {
+    } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
+    } else {
+      roots.emplace_back(arg);
     }
   }
-  if (root.empty()) {
-    std::cerr << "usage: mmhar_lint <root> [--baseline <file>] "
+  if (roots.empty()) {
+    std::cerr << "usage: mmhar_lint <root>... [--baseline <file>] "
                  "[--update-baseline]\n";
-    return 2;
-  }
-  if (!fs::is_directory(root)) {
-    std::cerr << "mmhar_lint: not a directory: " << root << "\n";
     return 2;
   }
 
   std::vector<Violation> violations;
-  std::vector<fs::path> files;
-  for (const auto& entry : fs::recursive_directory_iterator(root)) {
-    if (!entry.is_regular_file()) continue;
-    const auto ext = entry.path().extension().string();
-    if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc")
-      files.push_back(entry.path());
-  }
-  std::sort(files.begin(), files.end());
-
-  for (const auto& path : files) {
-    std::ifstream in(path);
-    if (!in) {
-      std::cerr << "mmhar_lint: cannot read " << path << "\n";
+  std::size_t file_count = 0;
+  std::vector<std::string> lines;  // hoisted per-file scratch
+  for (const auto& root : roots) {
+    if (!fs::is_directory(root)) {
+      std::cerr << "mmhar_lint: not a directory: " << root << "\n";
       return 2;
     }
-    std::vector<std::string> lines;
-    std::string line;
-    while (std::getline(in, line)) lines.push_back(line);
-    auto found =
-        FileLinter(fs::relative(path, root).generic_string(), std::move(lines))
-            .run();
-    violations.insert(violations.end(), found.begin(), found.end());
+    for (const auto& path : mmhar_tools::collect_sources(root)) {
+      if (!mmhar_tools::read_lines(path, lines)) {
+        std::cerr << "mmhar_lint: cannot read " << path << "\n";
+        return 2;
+      }
+      auto found = FileLinter(mmhar_tools::display_path(root, path),
+                              std::move(lines))
+                       .run();
+      violations.insert(violations.end(), found.begin(), found.end());
+      ++file_count;
+    }
   }
 
   std::map<BaselineKey, std::size_t> counts;
@@ -501,7 +454,7 @@ int main(int argc, char** argv) {
                 << " " << key.second << " (now clean)\n";
   }
 
-  std::cout << "mmhar_lint: scanned " << files.size() << " file(s), "
+  std::cout << "mmhar_lint: scanned " << file_count << " file(s), "
             << violations.size() << " violation(s) (" << waived
             << " baselined)\n";
   if (failed) {
