@@ -17,6 +17,7 @@
 
 #include "common/env.h"
 #include "common/rng.h"
+#include "common/thread_pool.h"
 #include "dsp/heatmap.h"
 #include "har/generator.h"
 #include "tensor/gemm.h"
@@ -182,6 +183,7 @@ int main(int argc, char** argv) {
                "  \"bench\": \"perf_micro\",\n"
                "  \"threads\": %ld,\n"
                "  \"hardware_concurrency\": %u,\n"
+               "  \"pool_threads\": %zu,\n"
                "  \"BM_Gemm/256\": {\"seconds\": %.6e, \"gflops\": %.3f},\n"
                "  \"BM_IfSynthesisPerAntenna\": {\"s_per_antenna\": %.6e},\n"
                "  \"BM_RangeFft\": {\"seconds\": %.6e},\n"
@@ -190,7 +192,8 @@ int main(int argc, char** argv) {
                "\"scalar_reference_seconds\": %.6e, \"speedup\": %.2f}\n"
                "}\n",
                env_int("MMHAR_THREADS", 0),
-               std::thread::hardware_concurrency(), gemm_s, gflops,
+               std::thread::hardware_concurrency(), global_pool().size(),
+               gemm_s, gflops,
                s_per_antenna, range_fft_s, drai_frame_s, seq_s, seq_scalar_s,
                seq_speedup);
   std::fclose(f);

@@ -1,0 +1,323 @@
+// Streaming-serving benchmark: throughput and latency at N concurrent
+// radar streams.
+//
+// Emits BENCH_serving.json (path overridable via argv[1]). For each
+// stream count N in MMHAR_SERVING_STREAMS (default "1,8,64") it reports:
+//
+//  * baseline_classifications_per_sec — an in-binary naive server that
+//    handles each stream sequentially through the public offline APIs:
+//    a window of raw frames re-run through compute_drai_sequence and a
+//    batch-1 HarModel::forward per classification.
+//  * classifications_per_sec / speedup — the StreamingHarService pumped
+//    at saturation over the identical frame schedule (fused cross-stream
+//    FFTs, prepacked zero-alloc micro-batched inference).
+//  * p50_ms / p99_ms / p999_ms / drop_rate — a paced run: the background
+//    batcher serves producers submitting at MMHAR_SERVING_RATE_HZ frames
+//    per stream per second; latency is newest-frame submit -> classified.
+//
+// The acceptance criterion tracked by tools/bench_gate is the speedup
+// field (>= 4x at N = 64 on the committed baseline).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/env.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "dsp/heatmap.h"
+#include "har/model.h"
+#include "serving/serving.h"
+
+namespace {
+
+using namespace mmhar;
+using Clock = std::chrono::steady_clock;
+
+std::vector<std::size_t> parse_stream_counts(const std::string& csv) {
+  std::vector<std::size_t> out;
+  std::string tok;
+  for (std::size_t i = 0; i <= csv.size(); ++i) {
+    if (i == csv.size() || csv[i] == ',') {
+      if (!tok.empty()) out.push_back(static_cast<std::size_t>(std::stoul(tok)));
+      tok.clear();
+    } else {
+      tok.push_back(csv[i]);
+    }
+  }
+  return out;
+}
+
+std::vector<dsp::RadarCube> make_frame_pool(const serving::ServingConfig& cfg,
+                                            std::size_t count) {
+  Rng rng(17);
+  std::vector<dsp::RadarCube> pool;
+  pool.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    dsp::RadarCube cube(cfg.num_chirps, cfg.num_antennas, cfg.num_samples);
+    for (dsp::cfloat& v : cube.raw())
+      v = dsp::cfloat(static_cast<float>(rng.normal()),
+                      static_cast<float>(rng.normal()));
+    pool.push_back(std::move(cube));
+  }
+  return pool;
+}
+
+std::size_t argmax_of(std::span<const float> v) {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < v.size(); ++i)
+    if (v[i] > v[best]) best = i;
+  return best;
+}
+
+// Naive per-stream sequential server: buffer the raw frames and run the
+// repo's offline pipeline — compute_drai_sequence over the window plus a
+// batch-1 HarModel::forward — for every arriving frame once the window is
+// full. This is the straightforward application of the existing public
+// API to streaming (each window is an independent offline sample); the
+// serving layer's incremental per-frame DSP and cross-stream batching are
+// exactly what it lacks.
+double run_baseline(har::HarModel& model, const serving::ServingConfig& cfg,
+                    const std::vector<dsp::RadarCube>& pool,
+                    std::size_t n_streams, std::size_t frames_per_stream,
+                    std::vector<std::size_t>& stream0_preds) {
+  const dsp::HeatmapConfig& hm = cfg.heatmap;
+  const har::HarModelConfig& mc = model.config();
+  const std::size_t T = mc.frames;
+
+  std::vector<std::vector<dsp::RadarCube>> windows(n_streams);
+  std::size_t classifications = 0;
+
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t pass = 0; pass < frames_per_stream; ++pass) {
+    for (std::size_t s = 0; s < n_streams; ++s) {
+      std::vector<dsp::RadarCube>& w = windows[s];
+      w.push_back(pool[(pass + s) % pool.size()]);
+      if (w.size() < T) continue;
+      const Tensor seq = dsp::compute_drai_sequence(w, hm);
+      const Tensor in({1, T, hm.range_bins, hm.angle_bins},
+                      std::vector<float>(seq.flat().begin(),
+                                         seq.flat().end()));
+      const Tensor logits = model.forward(in, /*training=*/false);
+      ++classifications;
+      if (s == 0) stream0_preds.push_back(argmax_of(logits.flat()));
+      w.erase(w.begin());
+    }
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+  return static_cast<double>(classifications) / elapsed;
+}
+
+// StreamingHarService pumped at saturation on the same frame schedule.
+double run_serving_throughput(har::HarModel& model,
+                              serving::ServingConfig cfg,
+                              const std::vector<dsp::RadarCube>& pool,
+                              std::size_t n_streams,
+                              std::size_t frames_per_stream,
+                              std::vector<std::size_t>& stream0_preds,
+                              std::vector<std::uint64_t>& stream0_seqs) {
+  cfg.max_streams = n_streams;
+  serving::StreamingHarService svc(cfg, model);
+  std::vector<std::size_t> sids(n_streams);
+  for (std::size_t s = 0; s < n_streams; ++s) sids[s] = svc.add_stream();
+
+  const Clock::time_point t0 = Clock::now();
+  for (std::size_t pass = 0; pass < frames_per_stream; ++pass) {
+    for (std::size_t s = 0; s < n_streams; ++s)
+      svc.submit_frame(sids[s], pool[(pass + s) % pool.size()]);
+    svc.run_cycle();
+  }
+  while (svc.run_cycle() > 0) {
+  }
+  const double elapsed =
+      std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::uint64_t classifications = 0;
+  std::vector<serving::Classification> buf(cfg.result_depth);
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    classifications += svc.stream_stats(sids[s]).classifications;
+    std::size_t n = 0;
+    do {
+      n = svc.poll(sids[s], std::span<serving::Classification>(buf));
+      if (s == 0) {
+        for (std::size_t i = 0; i < n; ++i) {
+          stream0_preds.push_back(buf[i].predicted);
+          stream0_seqs.push_back(buf[i].frame_seq);
+        }
+      }
+    } while (n == buf.size());
+  }
+  return static_cast<double>(classifications) / elapsed;
+}
+
+struct LatencyResult {
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  double p999_ms = 0.0;
+  double drop_rate = 0.0;
+};
+
+double percentile_ms(const std::vector<std::int64_t>& sorted_ns, double q) {
+  if (sorted_ns.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted_ns.size() - 1);
+  const std::size_t idx = static_cast<std::size_t>(pos + 0.5);
+  return static_cast<double>(sorted_ns[std::min(idx, sorted_ns.size() - 1)]) /
+         1e6;
+}
+
+// Paced run with the background batcher: producers tick at rate_hz per
+// stream; the batcher owns the DSP + inference pipeline.
+LatencyResult run_latency(har::HarModel& model, serving::ServingConfig cfg,
+                          const std::vector<dsp::RadarCube>& pool,
+                          std::size_t n_streams,
+                          std::size_t frames_per_stream, long rate_hz) {
+  cfg.max_streams = n_streams;
+  serving::StreamingHarService svc(cfg, model);
+  std::vector<std::size_t> sids(n_streams);
+  for (std::size_t s = 0; s < n_streams; ++s) sids[s] = svc.add_stream();
+  svc.start();
+
+  std::vector<std::int64_t> latencies;
+  latencies.reserve(n_streams * frames_per_stream);
+  std::vector<serving::Classification> buf(cfg.result_depth);
+  const auto period =
+      std::chrono::duration_cast<Clock::duration>(std::chrono::duration<double>(
+          1.0 / static_cast<double>(rate_hz)));
+  Clock::time_point next = Clock::now();
+  for (std::size_t pass = 0; pass < frames_per_stream; ++pass) {
+    for (std::size_t s = 0; s < n_streams; ++s)
+      svc.submit_frame(sids[s], pool[(pass + s) % pool.size()]);
+    for (std::size_t s = 0; s < n_streams; ++s) {
+      const std::size_t n =
+          svc.poll(sids[s], std::span<serving::Classification>(buf));
+      for (std::size_t i = 0; i < n; ++i)
+        latencies.push_back(buf[i].latency_ns);
+    }
+    next += period;
+    const Clock::time_point now = Clock::now();
+    if (next > now)
+      std::this_thread::sleep_until(next);
+    else
+      next = now;  // behind schedule: don't try to catch up in a burst
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  svc.stop();
+  while (svc.run_cycle() > 0) {
+  }
+
+  LatencyResult r;
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;
+  for (std::size_t s = 0; s < n_streams; ++s) {
+    std::size_t n = 0;
+    do {
+      n = svc.poll(sids[s], std::span<serving::Classification>(buf));
+      for (std::size_t i = 0; i < n; ++i)
+        latencies.push_back(buf[i].latency_ns);
+    } while (n == buf.size());
+    const serving::StreamStats st = svc.stream_stats(sids[s]);
+    accepted += st.accepted;
+    dropped += st.dropped_frames;
+  }
+  std::sort(latencies.begin(), latencies.end());
+  r.p50_ms = percentile_ms(latencies, 0.50);
+  r.p99_ms = percentile_ms(latencies, 0.99);
+  r.p999_ms = percentile_ms(latencies, 0.999);
+  r.drop_rate = accepted == 0
+                    ? 0.0
+                    : static_cast<double>(dropped) / static_cast<double>(accepted);
+  return r;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_serving.json";
+  const std::vector<std::size_t> stream_counts =
+      parse_stream_counts(env_string("MMHAR_SERVING_STREAMS", "1,8,64"));
+  const std::size_t frames_per_stream =
+      static_cast<std::size_t>(env_int("MMHAR_SERVING_FRAMES", 48));
+  const long rate_hz = env_int("MMHAR_SERVING_RATE_HZ", 30);
+  if (stream_counts.empty() || frames_per_stream == 0 || rate_hz <= 0) {
+    std::fprintf(stderr, "bad MMHAR_SERVING_* configuration\n");
+    return 1;
+  }
+
+  har::HarModelConfig mc;  // paper-scale model: T=32 frames of 32x32
+  har::HarModel model(mc);
+  serving::ServingConfig cfg = serving::ServingConfig::from_env();
+  const std::vector<dsp::RadarCube> pool = make_frame_pool(cfg, 32);
+
+  std::FILE* f = std::fopen(out_path, "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"bench\": \"serving\",\n"
+               "  \"threads\": %ld,\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"pool_threads\": %zu,\n"
+               "  \"frames_per_stream\": %zu,\n"
+               "  \"rate_hz\": %ld",
+               env_int("MMHAR_THREADS", 0),
+               std::thread::hardware_concurrency(), global_pool().size(),
+               frames_per_stream, rate_hz);
+
+  bool preds_checked = false;
+  std::vector<std::size_t> base_preds;
+  std::vector<std::size_t> serve_preds;
+  std::vector<std::uint64_t> serve_seqs;
+  for (const std::size_t n_streams : stream_counts) {
+    base_preds.clear();
+    serve_preds.clear();
+    serve_seqs.clear();
+    const double base_cps = run_baseline(model, cfg, pool, n_streams,
+                                         frames_per_stream, base_preds);
+    const double serve_cps =
+        run_serving_throughput(model, cfg, pool, n_streams, frames_per_stream,
+                               serve_preds, serve_seqs);
+    // Correctness cross-check (once, at the smallest N): the service must
+    // classify stream 0 exactly like the offline pipeline.
+    if (!preds_checked) {
+      preds_checked = true;
+      const std::size_t T = mc.frames;
+      for (std::size_t i = 0; i < serve_preds.size(); ++i) {
+        const std::size_t base_idx =
+            static_cast<std::size_t>(serve_seqs[i]) - (T - 1);
+        if (base_idx >= base_preds.size() ||
+            base_preds[base_idx] != serve_preds[i]) {
+          std::fprintf(stderr,
+                       "serving/baseline prediction mismatch at window %zu\n",
+                       i);
+          std::fclose(f);
+          return 1;
+        }
+      }
+    }
+    const LatencyResult lat =
+        run_latency(model, cfg, pool, n_streams, frames_per_stream, rate_hz);
+    const double speedup = serve_cps / base_cps;
+    std::fprintf(f,
+                 ",\n  \"N%zu\": {\"baseline_classifications_per_sec\": %.2f, "
+                 "\"classifications_per_sec\": %.2f, \"speedup\": %.2f, "
+                 "\"p50_ms\": %.3f, \"p99_ms\": %.3f, \"p999_ms\": %.3f, "
+                 "\"drop_rate\": %.4f}",
+                 n_streams, base_cps, serve_cps, speedup, lat.p50_ms,
+                 lat.p99_ms, lat.p999_ms, lat.drop_rate);
+    std::printf(
+        "N=%zu: baseline %.1f cls/s, serving %.1f cls/s (%.2fx), "
+        "p50 %.2f ms, p99 %.2f ms, p99.9 %.2f ms, drop %.2f%%\n",
+        n_streams, base_cps, serve_cps, speedup, lat.p50_ms, lat.p99_ms,
+        lat.p999_ms, 100.0 * lat.drop_rate);
+  }
+  std::fprintf(f, "\n}\n");
+  std::fclose(f);
+  std::printf("-> %s\n", out_path);
+  return 0;
+}

@@ -171,6 +171,51 @@ void validate_job(const FftManyJob& job) {
                 "fft_many: in_len must be in (0, n], got " << job.in_len);
 }
 
+// Prototype-job validation for the *_multi entry points: geometry rules
+// are identical but the base pointer lives in the io list, not the job.
+void validate_proto(const FftManyJob& proto) {
+  MMHAR_REQUIRE(is_power_of_two(proto.n),
+                "fft_many length must be a power of two, got " << proto.n);
+  MMHAR_REQUIRE(proto.in == nullptr,
+                "fft_many_*_multi: prototype job must leave `in` null — "
+                "inputs come from the io list");
+  MMHAR_REQUIRE(proto.lanes > 0 && proto.reps > 0, "fft_many: empty batch");
+  MMHAR_REQUIRE(proto.in_len > 0 && proto.in_len <= proto.n,
+                "fft_many: in_len must be in (0, n], got " << proto.in_len);
+}
+
+// Gather one lane block whose lanes may span frame boundaries: bases[l]
+// points at lane l's transform start for the current rep (lane and rep
+// strides already folded in). Produces exactly the values load_block
+// gathers for the same lane, so the downstream butterflies are
+// bit-identical to the single-base path.
+void load_block_bases(const FftManyJob& job, const Plan& plan,
+                      const cfloat* const* bases, std::size_t nl, float* re,
+                      float* im) {
+  for (std::size_t j = 0; j < job.n; ++j) {
+    float* r = re + plan.bit_reverse[j] * kLanes;
+    float* q = im + plan.bit_reverse[j] * kLanes;
+    if (j < job.in_len) {
+      const float w = job.window != nullptr ? job.window[j] : 1.0F;
+      const std::size_t off = j * job.in_elem_stride;
+      for (std::size_t l = 0; l < nl; ++l) {
+        const cfloat v = bases[l][off];
+        r[l] = v.real() * w;
+        q[l] = v.imag() * w;
+      }
+      for (std::size_t l = nl; l < kLanes; ++l) {
+        r[l] = 0.0F;
+        q[l] = 0.0F;
+      }
+    } else {
+      for (std::size_t l = 0; l < kLanes; ++l) {
+        r[l] = 0.0F;
+        q[l] = 0.0F;
+      }
+    }
+  }
+}
+
 }  // namespace
 
 bool is_power_of_two(std::size_t n) { return n != 0 && (n & (n - 1)) == 0; }
@@ -325,6 +370,97 @@ void fft_many_mag_accum(const FftManyJob& job, bool shift, float* out,
       }
     }
   });
+}
+
+void fft_many_crop_multi(const FftManyJob& proto, std::size_t keep,
+                         std::span<const FftManyIo> ios,
+                         std::size_t out_lane_stride,
+                         std::size_t out_elem_stride) {
+  validate_proto(proto);
+  MMHAR_REQUIRE(proto.reps == 1,
+                "fft_many_crop_multi: accumulation axis unsupported");
+  MMHAR_REQUIRE(keep > 0 && keep <= proto.n,
+                "fft_many_crop_multi: keep must be in (0, n]");
+  MMHAR_REQUIRE(!ios.empty(), "fft_many_crop_multi: empty io list");
+
+  const Plan& plan = plan_for(proto.n);
+  const std::size_t per = proto.lanes;
+  const std::size_t total = per * ios.size();
+  Workspace& ws = tls_workspace();
+  ws.ensure(proto.n, false);
+  const cfloat* bases[kLanes];
+  for (std::size_t lane0 = 0; lane0 < total; lane0 += kLanes) {
+    const std::size_t nl = std::min(kLanes, total - lane0);
+    for (std::size_t l = 0; l < nl; ++l) {
+      const std::size_t g = lane0 + l;
+      MMHAR_CHECK(ios[g / per].in != nullptr);
+      bases[l] = ios[g / per].in + (g % per) * proto.in_lane_stride;
+    }
+    load_block_bases(proto, plan, bases, nl, ws.re.data(), ws.im.data());
+    butterflies(plan, proto.n, ws.re.data(), ws.im.data());
+    const float* re = ws.re.data();
+    const float* im = ws.im.data();
+    for (std::size_t l = 0; l < nl; ++l) {
+      const std::size_t g = lane0 + l;
+      MMHAR_CHECK(ios[g / per].out != nullptr);
+      cfloat* dst = ios[g / per].out + (g % per) * out_lane_stride;
+      for (std::size_t j = 0; j < keep; ++j)
+        dst[j * out_elem_stride] =
+            cfloat(re[j * kLanes + l], im[j * kLanes + l]);
+    }
+  }
+}
+
+void fft_many_mag_accum_multi(const FftManyJob& proto, bool shift,
+                              std::span<const FftManyMagIo> ios,
+                              std::size_t out_lane_stride,
+                              std::size_t out_elem_stride) {
+  validate_proto(proto);
+  MMHAR_REQUIRE(!ios.empty(), "fft_many_mag_accum_multi: empty io list");
+
+  const Plan& plan = plan_for(proto.n);
+  const std::size_t per = proto.lanes;
+  const std::size_t total = per * ios.size();
+  Workspace& ws = tls_workspace();
+  ws.ensure(proto.n, true);
+  const cfloat* bases[kLanes];
+  for (std::size_t lane0 = 0; lane0 < total; lane0 += kLanes) {
+    const std::size_t nl = std::min(kLanes, total - lane0);
+    float* acc = ws.acc.data();
+    const std::size_t block = proto.n * kLanes;
+    // The rep axis folds serially in index order, exactly as in
+    // fft_many_mag_accum, so every lane's sum keeps one fixed rounding
+    // order no matter how frames are batched together.
+    for (std::size_t rep = 0; rep < proto.reps; ++rep) {
+      for (std::size_t l = 0; l < nl; ++l) {
+        const std::size_t g = lane0 + l;
+        MMHAR_CHECK(ios[g / per].in != nullptr);
+        bases[l] = ios[g / per].in + rep * proto.in_rep_stride +
+                   (g % per) * proto.in_lane_stride;
+      }
+      load_block_bases(proto, plan, bases, nl, ws.re.data(), ws.im.data());
+      butterflies(plan, proto.n, ws.re.data(), ws.im.data());
+      const float* re = ws.re.data();
+      const float* im = ws.im.data();
+      if (rep == 0) {
+        for (std::size_t i = 0; i < block; ++i)
+          acc[i] = std::sqrt(re[i] * re[i] + im[i] * im[i]);
+      } else {
+        for (std::size_t i = 0; i < block; ++i)
+          acc[i] += std::sqrt(re[i] * re[i] + im[i] * im[i]);
+      }
+    }
+    const std::size_t half = proto.n / 2;
+    for (std::size_t l = 0; l < nl; ++l) {
+      const std::size_t g = lane0 + l;
+      MMHAR_CHECK(ios[g / per].out != nullptr);
+      float* dst = ios[g / per].out + (g % per) * out_lane_stride;
+      for (std::size_t p = 0; p < proto.n; ++p) {
+        const std::size_t bin = shift ? (p + half) % proto.n : p;
+        dst[p * out_elem_stride] = acc[bin * kLanes + l];
+      }
+    }
+  }
 }
 
 }  // namespace mmhar::dsp

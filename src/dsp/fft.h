@@ -102,4 +102,50 @@ void fft_many_mag_accum(const FftManyJob& job, bool shift, float* out,
                         std::size_t out_lane_stride,
                         std::size_t out_elem_stride);
 
+// ---- Batch-of-batches entry points -----------------------------------------
+//
+// The streaming serving layer fuses the per-frame Range/Angle-FFT work of
+// many independent radar streams into single engine invocations: every
+// frame shares the job geometry (the *_multi prototype job, whose `in`
+// field is unused and must stay null) but has its own input and output
+// base pointer. Lanes are numbered globally across the io list — frame i
+// contributes lanes [i*lanes, (i+1)*lanes) — so SIMD blocks fill across
+// frame (and stream) boundaries instead of running ragged per-frame
+// tails. Each lane's arithmetic is unchanged from the single-base entry
+// points, so per-frame results are bit-identical to calling
+// fft_many_crop / fft_many_mag_accum once per frame.
+//
+// Unlike the single-base entry points these run entirely on the CALLING
+// thread (no pool dispatch) and are allocation-free once the thread's
+// workspace has grown — the form the zero-alloc batcher cycle requires.
+
+/// One frame's (input, complex output) base pair for
+/// fft_many_crop_multi; both pointers use the prototype job's strides.
+struct FftManyIo {
+  const cfloat* in = nullptr;
+  cfloat* out = nullptr;
+};
+
+/// One frame's (input, magnitude output) base pair for
+/// fft_many_mag_accum_multi.
+struct FftManyMagIo {
+  const cfloat* in = nullptr;
+  float* out = nullptr;
+};
+
+/// As fft_many_crop, over `ios.size()` frames sharing `proto`'s geometry.
+/// Requires proto.in == nullptr and proto.reps == 1.
+void fft_many_crop_multi(const FftManyJob& proto, std::size_t keep,
+                         std::span<const FftManyIo> ios,
+                         std::size_t out_lane_stride,
+                         std::size_t out_elem_stride);
+
+/// As fft_many_mag_accum, over `ios.size()` frames sharing `proto`'s
+/// geometry (the rep axis folds serially per lane, as in the single-base
+/// form). Requires proto.in == nullptr.
+void fft_many_mag_accum_multi(const FftManyJob& proto, bool shift,
+                              std::span<const FftManyMagIo> ios,
+                              std::size_t out_lane_stride,
+                              std::size_t out_elem_stride);
+
 }  // namespace mmhar::dsp

@@ -104,46 +104,73 @@ RangeSpectra range_fft(const RadarCube& cube, const HeatmapConfig& cfg) {
   return out;
 }
 
+namespace {
+
+// Column range [lo, hi) of the clutter-removal sweep: per-column mean over
+// chirps, then subtract. [chirp][antenna][range] layout makes every
+// (antenna, range) cell one column of a [q_total x cols] matrix, so the
+// sweeps run vectorized across contiguous columns. Columns are
+// independent, which keeps the output bit-identical for any partitioning
+// (pooled chunks or one serial call).
+void clutter_columns(cfloat* base, std::size_t cols, std::size_t q_total,
+                     float inv_q, std::size_t lo, std::size_t hi) {
+  constexpr std::size_t kTile = 64;
+  float mean_re[kTile];
+  float mean_im[kTile];
+  for (std::size_t c0 = lo; c0 < hi; c0 += kTile) {
+    const std::size_t w = std::min(kTile, hi - c0);
+    for (std::size_t t = 0; t < w; ++t) {
+      mean_re[t] = 0.0F;
+      mean_im[t] = 0.0F;
+    }
+    for (std::size_t q = 0; q < q_total; ++q) {
+      const cfloat* row = base + q * cols + c0;
+      for (std::size_t t = 0; t < w; ++t) {
+        mean_re[t] += row[t].real();
+        mean_im[t] += row[t].imag();
+      }
+    }
+    for (std::size_t t = 0; t < w; ++t) {
+      mean_re[t] *= inv_q;
+      mean_im[t] *= inv_q;
+    }
+    for (std::size_t q = 0; q < q_total; ++q) {
+      cfloat* row = base + q * cols + c0;
+      for (std::size_t t = 0; t < w; ++t)
+        row[t] -= cfloat(mean_re[t], mean_im[t]);
+    }
+  }
+}
+
+}  // namespace
+
 void remove_static_clutter(RangeSpectra& spectra) {
   const std::size_t q_total = spectra.num_chirps;
   if (q_total < 2) return;  // nothing to average against
   const float inv_q = 1.0F / static_cast<float>(q_total);
-  // [chirp][antenna][range] layout: every (antenna, range) cell is one
-  // column of a [q_total x cols] matrix, so the mean/subtract sweeps run
-  // vectorized across contiguous columns. Columns are independent, which
-  // keeps the output bit-identical for any chunk partitioning.
   const std::size_t cols = spectra.num_antennas * spectra.range_bins;
   MMHAR_CHECK(spectra.data.size() == q_total * cols);
   cfloat* const base = spectra.data.data();
   global_pool().parallel_for_chunked(
       0, cols, [base, cols, q_total, inv_q](std::size_t lo, std::size_t hi) {
-        constexpr std::size_t kTile = 64;
-        float mean_re[kTile];
-        float mean_im[kTile];
-        for (std::size_t c0 = lo; c0 < hi; c0 += kTile) {
-          const std::size_t w = std::min(kTile, hi - c0);
-          for (std::size_t t = 0; t < w; ++t) {
-            mean_re[t] = 0.0F;
-            mean_im[t] = 0.0F;
-          }
-          for (std::size_t q = 0; q < q_total; ++q) {
-            const cfloat* row = base + q * cols + c0;
-            for (std::size_t t = 0; t < w; ++t) {
-              mean_re[t] += row[t].real();
-              mean_im[t] += row[t].imag();
-            }
-          }
-          for (std::size_t t = 0; t < w; ++t) {
-            mean_re[t] *= inv_q;
-            mean_im[t] *= inv_q;
-          }
-          for (std::size_t q = 0; q < q_total; ++q) {
-            cfloat* row = base + q * cols + c0;
-            for (std::size_t t = 0; t < w; ++t)
-              row[t] -= cfloat(mean_re[t], mean_im[t]);
-          }
-        }
+        clutter_columns(base, cols, q_total, inv_q, lo, hi);
       });
+}
+
+void remove_static_clutter_serial(cfloat* data, std::size_t num_chirps,
+                                  std::size_t num_antennas,
+                                  std::size_t range_bins) {
+  if (num_chirps < 2) return;  // nothing to average against
+  const float inv_q = 1.0F / static_cast<float>(num_chirps);
+  const std::size_t cols = num_antennas * range_bins;
+  clutter_columns(data, cols, num_chirps, inv_q, 0, cols);
+}
+
+void remove_static_clutter_serial(RangeSpectra& spectra) {
+  MMHAR_CHECK(spectra.data.size() ==
+              spectra.num_chirps * spectra.num_antennas * spectra.range_bins);
+  remove_static_clutter_serial(spectra.data.data(), spectra.num_chirps,
+                               spectra.num_antennas, spectra.range_bins);
 }
 
 Tensor compute_rdi(const RangeSpectra& spectra, const HeatmapConfig& cfg) {

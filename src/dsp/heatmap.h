@@ -94,6 +94,19 @@ void range_fft(const RadarCube& cube, const HeatmapConfig& cfg,
 /// returns from static objects (walls, furniture, torso at rest).
 void remove_static_clutter(RangeSpectra& spectra);
 
+/// Serial form of remove_static_clutter: runs entirely on the calling
+/// thread with no pool dispatch and no allocation. Columns are
+/// independent, so the result is bit-identical to the pooled form — the
+/// streaming batcher uses this inside its zero-alloc cycle.
+void remove_static_clutter_serial(RangeSpectra& spectra);
+
+/// Raw-pointer core of remove_static_clutter_serial over a
+/// [num_chirps x num_antennas x range_bins] block that need not live in a
+/// RangeSpectra (the serving layer's spectra arena).
+void remove_static_clutter_serial(cfloat* data, std::size_t num_chirps,
+                                  std::size_t num_antennas,
+                                  std::size_t range_bins);
+
 /// Range-Doppler Image: [doppler_bins x range_bins], Doppler-shifted so
 /// zero velocity is the center row. Magnitudes are summed over antennas.
 Tensor compute_rdi(const RadarCube& cube, const HeatmapConfig& cfg);

@@ -1,0 +1,86 @@
+// Zero-allocation micro-batched inference for the CNN-LSTM classifier.
+//
+// HarModel::forward is built for training: every layer allocates output
+// tensors, caches activations for backward, and re-packs its weights per
+// call. The serving path cannot afford any of that, so inference is split
+// into two pieces with a strict ownership boundary:
+//
+//  * `InferencePlan` — immutable after build_inference_plan(): the model's
+//    weights snapshotted into pre-packed GEMM operand layouts (conv
+//    weights as PackedA tiles, Dense/LSTM/head weights as PackedB panels)
+//    plus copied biases and derived layer geometry. One plan is shared by
+//    any number of concurrent consumers without synchronization.
+//  * `InferenceScratch` — per-caller, grow-once working buffers for every
+//    intermediate activation. After reserve() (or one warm-up call) a
+//    forward performs zero heap allocations.
+//
+// infer_forward replicates HarModel::forward(…, training=false) operation
+// for operation — same im2col layout, same GEMM kernels and reduction
+// orders, same gate math — so its logits are bit-identical to the
+// training model's for any micro-batch composition (no GEMM in this path
+// has a batch-size-dependent fast path; every output row's arithmetic is
+// independent of the other rows in the batch).
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "har/model.h"
+#include "tensor/gemm.h"
+
+namespace mmhar::har {
+
+/// Immutable pre-packed weight snapshot plus derived geometry.
+struct InferencePlan {
+  HarModelConfig config;
+
+  PackedA conv1_w;             ///< [c1, 1*5*5] in A-tile layout
+  std::vector<float> conv1_b;
+  PackedA conv2_w;             ///< [c2, c1*3*3] in A-tile layout
+  std::vector<float> conv2_b;
+  PackedB fc_w;                ///< feature Dense, packed from [F, spatial]
+  std::vector<float> fc_b;
+  PackedB lstm_wx;             ///< packed from W_x [4H, F]
+  PackedB lstm_wh;             ///< packed from W_h [4H, H]
+  std::vector<float> lstm_b;
+  PackedB head_w;              ///< packed from [C, H]
+  std::vector<float> head_b;
+
+  // Layer geometry derived from config (conv1 -> conv2 -> 2x2 pool).
+  std::size_t h1 = 0, w1 = 0;  ///< after conv1 (stride 2)
+  std::size_t h2 = 0, w2 = 0;  ///< after conv2 (stride 2)
+  std::size_t hp = 0, wp = 0;  ///< after pooling
+  std::size_t spatial = 0;     ///< flattened CNN output, hp*wp*c2
+};
+
+/// Snapshot `model`'s weights into a plan. The plan is independent of the
+/// model afterwards: training the model further does not change it.
+InferencePlan build_inference_plan(HarModel& model);
+
+/// Grow-once working buffers for infer_forward. Safe to reuse across
+/// calls from one thread; never shared between concurrent callers.
+struct InferenceScratch {
+  std::vector<float> col;     ///< im2col panel for one frame
+  std::vector<float> act1;    ///< conv1 output [N, c1, h1, w1]
+  std::vector<float> act2;    ///< conv2 output [N, c2, h2, w2]
+  std::vector<float> pooled;  ///< pool/flatten output [N, spatial]
+  std::vector<float> feats;   ///< per-frame features [N, F]
+  std::vector<float> x_step;  ///< LSTM input gather [K, F]
+  std::vector<float> z;       ///< LSTM pre-activations [K, 4H]
+  std::vector<float> h;       ///< LSTM hidden state [K, H]
+  std::vector<float> c;       ///< LSTM cell state [K, H]
+
+  /// Grow every buffer to the sizes `max_batch` samples need. Forwards of
+  /// any batch <= max_batch then allocate nothing.
+  void reserve(const InferencePlan& plan, std::size_t max_batch);
+};
+
+/// Micro-batched forward: input [batch, T, H, W] (flat, row-major) ->
+/// logits [batch, C]. Runs entirely on the calling thread; zero heap
+/// allocations once `scratch` covers `batch`. Bit-identical to
+/// HarModel::forward(input, /*training=*/false) on the weights the plan
+/// was built from.
+void infer_forward(const InferencePlan& plan, InferenceScratch& scratch,
+                   const float* input, std::size_t batch, float* logits);
+
+}  // namespace mmhar::har

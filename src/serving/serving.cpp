@@ -1,0 +1,529 @@
+#include "serving/serving.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/env.h"
+#include "common/finite_check.h"
+#include "common/mutex.h"
+#include "common/thread_annotations.h"
+#include "dsp/window.h"
+
+namespace mmhar::serving {
+
+using Clock = std::chrono::steady_clock;
+
+// ---- Internal state records ------------------------------------------------
+
+// One radar stream: a bounded frame ring feeding the batcher and a
+// bounded result ring feeding poll(). Slot payloads move through a
+// free-list / queued-FIFO hand-off: a slot index lives in exactly one of
+// {free list, queued ring, a producer's hands, the batcher's claim list}
+// at any time, so payload buffers are single-writer/single-reader without
+// holding the lock across the (large) frame copy.
+struct StreamingHarService::Stream {
+  Stream(std::size_t depth, std::size_t frame_elems, std::size_t rdepth)
+      : free_list(depth),
+        queued(depth),
+        slot_seq(depth, 0),
+        slot_arrival(depth),
+        slot_data(depth, std::vector<dsp::cfloat>(frame_elems)),
+        results(rdepth) {
+    for (std::size_t i = 0; i < depth; ++i) free_list[i] = i;
+    free_count = depth;
+  }
+
+  mutable Mutex mu;
+  std::vector<std::size_t> free_list MMHAR_GUARDED_BY(mu);  ///< slot stack
+  std::size_t free_count MMHAR_GUARDED_BY(mu) = 0;
+  std::vector<std::size_t> queued MMHAR_GUARDED_BY(mu);  ///< slot FIFO ring
+  std::size_t qhead MMHAR_GUARDED_BY(mu) = 0;
+  std::size_t qcount MMHAR_GUARDED_BY(mu) = 0;
+  std::vector<std::uint64_t> slot_seq MMHAR_GUARDED_BY(mu);
+  std::vector<Clock::time_point> slot_arrival MMHAR_GUARDED_BY(mu);
+  std::uint64_t next_seq MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t submitted MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t accepted MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t dropped MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t rejected MMHAR_GUARDED_BY(mu) = 0;
+  // Payload buffers: published by the mutex acquire/release around the
+  // slot-index hand-offs above, never accessed under the lock itself.
+  // mmhar-analyze: allow(lock-annotation-coverage)
+  std::vector<std::vector<dsp::cfloat>> slot_data;
+
+  mutable Mutex results_mu;
+  std::vector<Classification> results MMHAR_GUARDED_BY(results_mu);
+  std::size_t rhead MMHAR_GUARDED_BY(results_mu) = 0;
+  std::size_t rcount MMHAR_GUARDED_BY(results_mu) = 0;
+  std::uint64_t classifications MMHAR_GUARDED_BY(results_mu) = 0;
+  std::uint64_t dropped_results MMHAR_GUARDED_BY(results_mu) = 0;
+};
+
+// Batcher wake-up state: `pending` counts frames sitting in stream queues
+// (eventually consistent — producers increment after enqueueing, the
+// batcher decrements by the number it claimed, so it may transiently dip
+// negative or lag reality by an in-flight submit).
+struct StreamingHarService::Sched {
+  Mutex mu;
+  CondVar cv;
+  std::int64_t pending MMHAR_GUARDED_BY(mu) = 0;
+  bool stop MMHAR_GUARDED_BY(mu) = false;
+};
+
+struct StreamingHarService::Registry {
+  mutable Mutex mu;
+  std::vector<std::unique_ptr<Stream>> streams MMHAR_GUARDED_BY(mu);
+};
+
+// Everything below is touched only by whichever single thread runs
+// run_cycle (the batcher thread, or the owner when pumping manually), so
+// it needs no locking. All buffers are preallocated in the constructor;
+// the cycle only clear()s and refills them, which never reallocates.
+struct StreamingHarService::BatcherState {
+  struct Claim {
+    Stream* stream = nullptr;
+    std::size_t stream_id = 0;
+    std::size_t slot = 0;
+    std::uint64_t seq = 0;
+    Clock::time_point arrival;
+  };
+  // Per-stream sliding window of the last T raw (pre-dB, pre-normalize)
+  // DRAI frames, as a ring; `next` is the write position and, once
+  // filled, also the oldest frame.
+  struct StreamWindow {
+    std::vector<float> drai;
+    std::size_t next = 0;
+    std::size_t filled = 0;
+  };
+  struct Job {
+    std::size_t stream_id = 0;
+    std::uint64_t seq = 0;           ///< newest window frame
+    Clock::time_point arrival;       ///< newest window frame submit time
+  };
+
+  std::vector<Stream*> cycle_streams;
+  std::vector<Claim> claims;             ///< current round only
+  std::vector<dsp::FftManyIo> range_ios;
+  std::vector<dsp::FftManyMagIo> angle_ios;
+  std::vector<dsp::cfloat> spectra;      ///< per-round spectra arena
+  std::vector<StreamWindow> windows;     ///< indexed by stream id
+  std::vector<Job> jobs;                 ///< whole cycle
+  std::vector<float> net_input;          ///< [jobs x T x R x A]
+  std::vector<float> logits;             ///< [jobs x C]
+  har::InferenceScratch scratch;
+  std::size_t rr = 0;                    ///< round-robin fairness offset
+};
+
+// ---- Configuration ---------------------------------------------------------
+
+ServingConfig ServingConfig::from_env() {
+  ServingConfig cfg;
+  cfg.batch_max = static_cast<std::size_t>(
+      env_int("MMHAR_SERVING_BATCH", static_cast<long>(cfg.batch_max)));
+  cfg.queue_depth = static_cast<std::size_t>(
+      env_int("MMHAR_SERVING_QUEUE_DEPTH",
+              static_cast<long>(cfg.queue_depth)));
+  const std::string policy = env_string("MMHAR_SERVING_DROP_POLICY", "oldest");
+  MMHAR_REQUIRE(policy == "oldest" || policy == "newest",
+                "MMHAR_SERVING_DROP_POLICY must be 'oldest' or 'newest', got "
+                    << policy);
+  cfg.drop_policy =
+      policy == "newest" ? DropPolicy::kNewest : DropPolicy::kOldest;
+  return cfg;
+}
+
+// ---- Service ---------------------------------------------------------------
+
+StreamingHarService::StreamingHarService(const ServingConfig& config,
+                                         har::HarModel& model)
+    : config_(config) {
+  const har::HarModelConfig& mc = model.config();
+  const dsp::HeatmapConfig& hm = config.heatmap;
+  MMHAR_REQUIRE(config.max_streams > 0 && config.queue_depth > 0 &&
+                    config.batch_max > 0 && config.result_depth > 0,
+                "ServingConfig: all capacities must be positive");
+  MMHAR_REQUIRE(hm.range_bins == mc.height && hm.angle_bins == mc.width,
+                "ServingConfig: heatmap dims must match the model ("
+                    << mc.height << "x" << mc.width << ")");
+  MMHAR_REQUIRE(hm.normalize_per_sequence,
+                "ServingConfig: serving windows normalize over the whole "
+                "T-frame sequence; per-frame normalization is unsupported");
+  MMHAR_REQUIRE(dsp::is_power_of_two(config.num_samples) &&
+                    hm.range_bins <= config.num_samples,
+                "ServingConfig: num_samples must be a power of two >= "
+                "range_bins");
+  MMHAR_REQUIRE(dsp::is_power_of_two(hm.angle_bins) &&
+                    hm.angle_bins >= config.num_antennas,
+                "ServingConfig: angle_bins must be a power of two >= "
+                "num_antennas");
+  MMHAR_REQUIRE(mc.num_classes <= kMaxServingClasses,
+                "ServingConfig: num_classes exceeds kMaxServingClasses");
+
+  window_frames_ = mc.frames;
+  num_classes_ = mc.num_classes;
+  range_window_ = dsp::cached_window(hm.range_window, config.num_samples).data();
+  plan_ = har::build_inference_plan(model);
+  sched_ = std::make_unique<Sched>();
+  registry_ = std::make_unique<Registry>();
+  {
+    MutexLock lk(registry_->mu);
+    registry_->streams.reserve(config.max_streams);
+  }
+
+  const std::size_t hw = hm.range_bins * hm.angle_bins;
+  const std::size_t spectra_elems =
+      config.num_chirps * config.num_antennas * hm.range_bins;
+  batch_ = std::make_unique<BatcherState>();
+  batch_->cycle_streams.reserve(config.max_streams);
+  batch_->claims.reserve(config.batch_max);
+  batch_->range_ios.reserve(config.batch_max);
+  batch_->angle_ios.reserve(config.batch_max);
+  batch_->spectra.resize(config.batch_max * spectra_elems);
+  batch_->windows.resize(config.max_streams);
+  for (BatcherState::StreamWindow& w : batch_->windows)
+    w.drai.resize(window_frames_ * hw);
+  batch_->jobs.reserve(config.batch_max);
+  batch_->net_input.resize(config.batch_max * window_frames_ * hw);
+  batch_->logits.resize(config.batch_max * num_classes_);
+  batch_->scratch.reserve(plan_, config.batch_max);
+}
+
+StreamingHarService::~StreamingHarService() { stop(); }
+
+std::size_t StreamingHarService::add_stream() {
+  const std::size_t frame_elems =
+      config_.num_chirps * config_.num_antennas * config_.num_samples;
+  MutexLock lk(registry_->mu);
+  MMHAR_REQUIRE(registry_->streams.size() < config_.max_streams,
+                "add_stream: all " << config_.max_streams
+                                   << " stream slots are active");
+  registry_->streams.push_back(std::make_unique<Stream>(
+      config_.queue_depth, frame_elems, config_.result_depth));
+  return registry_->streams.size() - 1;
+}
+
+StreamingHarService::Stream* StreamingHarService::stream_ptr(
+    std::size_t idx) const {
+  MutexLock lk(registry_->mu);
+  MMHAR_REQUIRE(idx < registry_->streams.size(),
+                "unknown stream id " << idx);
+  return registry_->streams[idx].get();
+}
+
+bool StreamingHarService::submit_frame(std::size_t stream,
+                                       const dsp::RadarCube& cube) {
+  MMHAR_REQUIRE(cube.num_chirps() == config_.num_chirps &&
+                    cube.num_antennas() == config_.num_antennas &&
+                    cube.num_samples() == config_.num_samples,
+                "submit_frame: cube geometry does not match ServingConfig");
+  Stream* s = stream_ptr(stream);
+  const Clock::time_point now = Clock::now();
+
+  std::size_t slot = 0;
+  bool evicted = false;
+  {
+    MutexLock lk(s->mu);
+    ++s->submitted;
+    if (s->free_count > 0) {
+      slot = s->free_list[--s->free_count];
+    } else if (config_.drop_policy == DropPolicy::kOldest && s->qcount > 0) {
+      // Evict the oldest *queued* frame and reuse its slot; claimed
+      // (in-flight) frames are never dropped.
+      slot = s->queued[s->qhead];
+      s->qhead = (s->qhead + 1) % config_.queue_depth;
+      --s->qcount;
+      ++s->dropped;
+      evicted = true;
+    } else {
+      ++s->rejected;
+      return false;
+    }
+  }
+
+  // Copy the frame outside the lock: the slot index is exclusively ours
+  // until we publish it to the queued ring below.
+  std::copy(cube.raw().begin(), cube.raw().end(), s->slot_data[slot].begin());
+
+  {
+    MutexLock lk(s->mu);
+    ++s->accepted;
+    s->slot_seq[slot] = s->next_seq++;
+    s->slot_arrival[slot] = now;
+    s->queued[(s->qhead + s->qcount) % config_.queue_depth] = slot;
+    ++s->qcount;
+  }
+
+  // Eviction removed one queued frame and this submit added one, so the
+  // pending count only moves on a non-evicting admit.
+  if (!evicted) {
+    MutexLock lk(sched_->mu);
+    ++sched_->pending;
+    sched_->cv.notify_one();
+  }
+  return true;
+}
+
+std::size_t StreamingHarService::poll(std::size_t stream,
+                                      std::span<Classification> out) {
+  Stream* s = stream_ptr(stream);
+  MutexLock lk(s->results_mu);
+  const std::size_t n = std::min(out.size(), s->rcount);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = s->results[s->rhead];
+    s->rhead = (s->rhead + 1) % config_.result_depth;
+  }
+  s->rcount -= n;
+  return n;
+}
+
+StreamStats StreamingHarService::stream_stats(std::size_t stream) const {
+  Stream* s = stream_ptr(stream);
+  StreamStats st;
+  {
+    MutexLock lk(s->mu);
+    st.submitted = s->submitted;
+    st.accepted = s->accepted;
+    st.dropped_frames = s->dropped;
+    st.rejected_frames = s->rejected;
+  }
+  {
+    MutexLock lk(s->results_mu);
+    st.classifications = s->classifications;
+    st.dropped_results = s->dropped_results;
+  }
+  return st;
+}
+
+// Claim at most one queued frame per stream (round-robin, rotating start
+// so no stream starves), up to `budget` total. Claims land in
+// batch_->claims in per-stream FIFO order.
+std::size_t StreamingHarService::claim_round(std::size_t budget) {
+  BatcherState& bs = *batch_;
+  const std::size_t n = bs.cycle_streams.size();
+  if (n == 0) return 0;
+  std::size_t got = 0;
+  for (std::size_t k = 0; k < n && got < budget; ++k) {
+    const std::size_t sid = (bs.rr + k) % n;
+    Stream* s = bs.cycle_streams[sid];
+    MutexLock lk(s->mu);
+    if (s->qcount == 0) continue;
+    const std::size_t slot = s->queued[s->qhead];
+    s->qhead = (s->qhead + 1) % config_.queue_depth;
+    --s->qcount;
+    bs.claims.push_back(
+        {s, sid, slot, s->slot_seq[slot], s->slot_arrival[slot]});
+    ++got;
+  }
+  bs.rr = (bs.rr + 1) % n;
+  return got;
+}
+
+// One pipeline round over the current claim list (at most one frame per
+// stream, so a window slot written this round is never part of an
+// already-recorded job). Stages are fused across every claimed frame.
+void StreamingHarService::process_round(std::size_t n_claims) {
+  BatcherState& bs = *batch_;
+  const dsp::HeatmapConfig& hm = config_.heatmap;
+  const std::size_t hw = hm.range_bins * hm.angle_bins;
+  const std::size_t wlen = window_frames_ * hw;
+  const std::size_t spectra_elems =
+      config_.num_chirps * config_.num_antennas * hm.range_bins;
+  MMHAR_CHECK(bs.spectra.size() >= n_claims * spectra_elems);
+  dsp::cfloat* const spectra = bs.spectra.data();
+
+  // Stage 1: every claimed frame's windowed Range-FFT in ONE batched
+  // call — SIMD lanes run across (chirp, antenna) rows of all frames of
+  // all streams in this round.
+  bs.range_ios.clear();
+  for (std::size_t i = 0; i < n_claims; ++i) {
+    const BatcherState::Claim& cl = bs.claims[i];
+    bs.range_ios.push_back({cl.stream->slot_data[cl.slot].data(),
+                            spectra + i * spectra_elems});
+  }
+  dsp::FftManyJob range_job;
+  range_job.n = config_.num_samples;
+  range_job.in_len = config_.num_samples;
+  range_job.window = range_window_;
+  range_job.lanes = config_.num_chirps * config_.num_antennas;
+  range_job.in_lane_stride = config_.num_samples;
+  range_job.in_elem_stride = 1;
+  dsp::fft_many_crop_multi(range_job, hm.range_bins, bs.range_ios,
+                           hm.range_bins, 1);
+  check_finite(std::span<const dsp::cfloat>(spectra, n_claims * spectra_elems),
+               "RangeSpectra", "serving/post-fft");
+
+  // Stage 2: static clutter removal (serial per frame — pool-free).
+  if (hm.remove_clutter) {
+    for (std::size_t i = 0; i < n_claims; ++i)
+      dsp::remove_static_clutter_serial(spectra + i * spectra_elems,
+                                        config_.num_chirps,
+                                        config_.num_antennas, hm.range_bins);
+  }
+
+  // Frame payloads are consumed; hand the slots back to the producers.
+  for (std::size_t i = 0; i < n_claims; ++i) {
+    const BatcherState::Claim& cl = bs.claims[i];
+    MutexLock lk(cl.stream->mu);
+    cl.stream->free_list[cl.stream->free_count++] = cl.slot;
+  }
+
+  // Stage 3: every frame's Angle-FFT → raw DRAI in ONE batched call,
+  // written straight into its stream's window ring slot.
+  const std::size_t round_job_start = bs.jobs.size();
+  bs.angle_ios.clear();
+  for (std::size_t i = 0; i < n_claims; ++i) {
+    const BatcherState::Claim& cl = bs.claims[i];
+    BatcherState::StreamWindow& w = bs.windows[cl.stream_id];
+    MMHAR_CHECK(w.drai.size() == wlen && w.next < window_frames_);
+    bs.angle_ios.push_back(
+        {spectra + i * spectra_elems, w.drai.data() + w.next * hw});
+    w.next = (w.next + 1) % window_frames_;
+    if (w.filled < window_frames_) ++w.filled;
+    if (w.filled == window_frames_)
+      bs.jobs.push_back({cl.stream_id, cl.seq, cl.arrival});
+  }
+  dsp::FftManyJob angle_job;
+  angle_job.n = hm.angle_bins;
+  angle_job.in_len = config_.num_antennas;
+  angle_job.lanes = hm.range_bins;
+  angle_job.in_lane_stride = 1;
+  angle_job.in_elem_stride = hm.range_bins;
+  angle_job.reps = config_.num_chirps;
+  angle_job.in_rep_stride = config_.num_antennas * hm.range_bins;
+  dsp::fft_many_mag_accum_multi(angle_job, /*shift=*/true, bs.angle_ios,
+                                hm.angle_bins, 1);
+
+  // Stage 4: gather the windows completed this round into network-input
+  // rows, applying the sequence-level dB conversion and min-max
+  // normalization exactly as compute_drai_sequence's tail does (to_db
+  // then normalize01 over the whole [T, R, A] block).
+  MMHAR_CHECK(bs.net_input.size() >= bs.jobs.size() * wlen);
+  float* const net_input = bs.net_input.data();
+  for (std::size_t j = round_job_start; j < bs.jobs.size(); ++j) {
+    const BatcherState::StreamWindow& w = bs.windows[bs.jobs[j].stream_id];
+    float* row = net_input + j * wlen;
+    for (std::size_t t = 0; t < window_frames_; ++t) {
+      const std::size_t src = (w.next + t) % window_frames_;
+      std::copy(w.drai.begin() +
+                    static_cast<std::ptrdiff_t>(src * hw),
+                w.drai.begin() + static_cast<std::ptrdiff_t>((src + 1) * hw),
+                row + t * hw);
+    }
+    if (hm.log_scale) {
+      for (std::size_t i = 0; i < wlen; ++i)
+        row[i] = 20.0F * std::log10(std::max(row[i], hm.db_floor));
+    }
+    if (hm.normalize) {
+      const float lo = *std::min_element(row, row + wlen);
+      const float hi = *std::max_element(row, row + wlen);
+      const float range = hi - lo;
+      if (range <= 0.0F) {
+        std::fill(row, row + wlen, 0.0F);
+      } else {
+        const float inv = 1.0F / range;
+        for (std::size_t i = 0; i < wlen; ++i) row[i] = (row[i] - lo) * inv;
+      }
+    }
+  }
+}
+
+std::size_t StreamingHarService::run_cycle() {
+  BatcherState& bs = *batch_;
+  {
+    MutexLock lk(registry_->mu);
+    bs.cycle_streams.clear();
+    for (const std::unique_ptr<Stream>& s : registry_->streams)
+      bs.cycle_streams.push_back(s.get());
+  }
+  bs.jobs.clear();
+
+  std::size_t total = 0;
+  while (total < config_.batch_max) {
+    bs.claims.clear();
+    const std::size_t got = claim_round(config_.batch_max - total);
+    if (got == 0) break;
+    process_round(got);
+    total += got;
+  }
+
+  // Cross-stream micro-batched CNN-LSTM forward over every window that
+  // completed this cycle, then publish per-stream results.
+  if (!bs.jobs.empty()) {
+    MMHAR_CHECK(bs.logits.size() >= bs.jobs.size() * num_classes_);
+    float* const logits = bs.logits.data();
+    har::infer_forward(plan_, bs.scratch, bs.net_input.data(),
+                       bs.jobs.size(), logits);
+    check_finite(std::span<const float>(logits,
+                                        bs.jobs.size() * num_classes_),
+                 "logits", "serving/post-forward");
+    const Clock::time_point now = Clock::now();
+    for (std::size_t j = 0; j < bs.jobs.size(); ++j) {
+      const BatcherState::Job& job = bs.jobs[j];
+      const float* row = logits + j * num_classes_;
+      Classification result;
+      result.frame_seq = job.seq;
+      result.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                              now - job.arrival)
+                              .count();
+      std::size_t best = 0;
+      for (std::size_t c = 1; c < num_classes_; ++c)
+        if (row[c] > row[best]) best = c;
+      result.predicted = best;
+      std::copy(row, row + num_classes_, result.logits);
+      Stream* s = bs.cycle_streams[job.stream_id];
+      MutexLock lk(s->results_mu);
+      if (s->rcount == config_.result_depth) {
+        s->rhead = (s->rhead + 1) % config_.result_depth;
+        --s->rcount;
+        ++s->dropped_results;
+      }
+      s->results[(s->rhead + s->rcount) % config_.result_depth] = result;
+      ++s->rcount;
+      ++s->classifications;
+    }
+  }
+
+  if (total > 0) {
+    MutexLock lk(sched_->mu);
+    sched_->pending -= static_cast<std::int64_t>(total);
+  }
+  return total;
+}
+
+void StreamingHarService::batcher_main() {
+  for (;;) {
+    {
+      MutexLock lk(sched_->mu);
+      while (sched_->pending <= 0 && !sched_->stop) sched_->cv.wait(sched_->mu);
+      if (sched_->stop) return;
+    }
+    // A cycle that claims nothing means a producer is mid-submit (the
+    // pending increment lands after the enqueue); yield instead of
+    // spinning hot until it does.
+    if (run_cycle() == 0) std::this_thread::yield();
+  }
+}
+
+void StreamingHarService::start() {
+  MMHAR_REQUIRE(!started_, "StreamingHarService::start: already running");
+  {
+    MutexLock lk(sched_->mu);
+    sched_->stop = false;
+  }
+  batcher_thread_ = std::thread([this] { batcher_main(); });
+  started_ = true;
+}
+
+void StreamingHarService::stop() {
+  if (!started_) return;
+  {
+    MutexLock lk(sched_->mu);
+    sched_->stop = true;
+    sched_->cv.notify_all();
+  }
+  batcher_thread_.join();
+  started_ = false;
+}
+
+}  // namespace mmhar::serving

@@ -1,0 +1,186 @@
+// Streaming HAR inference service: many concurrent radar streams in,
+// micro-batched classifications out.
+//
+// Architecture (one box per thread role):
+//
+//   producers (N threads)          batcher (1 thread)         consumers
+//   ─────────────────────          ──────────────────         ─────────
+//   submit_frame(cube) ──► per-stream frame ring ──► claim round-robin
+//                          (bounded, drop policy)        │
+//                                                 fused Range-FFT
+//                                                 (one fft_many_crop_multi
+//                                                  call, SIMD lanes across
+//                                                  streams)
+//                                                        │
+//                                                 clutter removal (serial)
+//                                                        │
+//                                                 fused Angle-FFT → DRAI
+//                                                 (one fft_many_mag_accum_
+//                                                  multi call)
+//                                                        │
+//                                                 per-stream sliding window
+//                                                 (T raw DRAI frames)
+//                                                        │
+//                                                 micro-batched CNN-LSTM
+//                                                 (prepacked-GEMM
+//                                                  InferencePlan)
+//                                                        │
+//                          per-stream result ring ◄── push ──► poll()
+//
+// Ownership boundaries: the InferencePlan, window geometry, and packed
+// weights are immutable after construction; all per-cycle working state
+// lives in batcher-owned grow-once arenas. After a warm-up cycle the
+// whole submit → classify path performs zero heap allocations (asserted
+// by tests via the mmhar_alloc_count hook).
+//
+// Backpressure: every stream's frame ring is bounded (queue_depth). When
+// a producer submits into a full ring, DropPolicy::kOldest discards the
+// oldest *queued* frame (frames the batcher already claimed are never
+// dropped) and accepts the new one; DropPolicy::kNewest rejects the new
+// frame. Either way memory stays bounded and the per-stream drop/reject
+// counters expose the overload instead of hiding it.
+//
+// Determinism: a stream's classification sequence is a pure function of
+// the frames that survive admission, regardless of how many other
+// streams share the batcher. The fused FFT entry points are per-lane
+// independent and no GEMM in the inference path has a batch-dependent
+// fast path, so serving a stream alone, alongside 63 others, or replaying
+// it after drops yields bit-identical logits (tested).
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <thread>
+#include <vector>
+
+#include "dsp/heatmap.h"
+#include "har/infer.h"
+#include "har/model.h"
+
+namespace mmhar::serving {
+
+/// What submit_frame does when a stream's frame ring is full.
+enum class DropPolicy {
+  kOldest,  ///< drop the oldest queued frame, accept the new one
+  kNewest,  ///< reject the new frame
+};
+
+/// Upper bound on HarModelConfig::num_classes the fixed-size result
+/// record supports (avoids per-result allocation).
+inline constexpr std::size_t kMaxServingClasses = 16;
+
+struct ServingConfig {
+  std::size_t max_streams = 64;   ///< streams preallocated at construction
+  std::size_t queue_depth = 4;    ///< per-stream frame-ring capacity
+  std::size_t batch_max = 64;     ///< frames fused per batcher cycle
+  std::size_t result_depth = 64;  ///< per-stream result-ring capacity
+  DropPolicy drop_policy = DropPolicy::kOldest;
+
+  // Radar frame geometry every stream must honor.
+  std::size_t num_chirps = 16;
+  std::size_t num_antennas = 16;
+  std::size_t num_samples = 64;
+
+  /// DSP chain configuration; range_bins/angle_bins must match the
+  /// model's height/width and normalize_per_sequence must be set (the
+  /// window normalizes over the whole T-frame sequence, exactly like
+  /// compute_drai_sequence).
+  dsp::HeatmapConfig heatmap;
+
+  /// Defaults overridden by MMHAR_SERVING_BATCH / _QUEUE_DEPTH /
+  /// _DROP_POLICY ("oldest" | "newest").
+  static ServingConfig from_env();
+};
+
+/// One classification result for a stream.
+struct Classification {
+  std::uint64_t frame_seq = 0;  ///< per-stream seq of the window's newest frame
+  std::size_t predicted = 0;    ///< argmax class index
+  std::int64_t latency_ns = 0;  ///< newest-frame submit → classification
+  float logits[kMaxServingClasses] = {};
+};
+
+/// Monotonic per-stream counters (snapshot).
+struct StreamStats {
+  std::uint64_t submitted = 0;        ///< submit_frame calls
+  std::uint64_t accepted = 0;         ///< frames admitted to the ring
+  std::uint64_t dropped_frames = 0;   ///< queued frames evicted (kOldest)
+  std::uint64_t rejected_frames = 0;  ///< submissions refused (ring full)
+  std::uint64_t classifications = 0;  ///< results produced
+  std::uint64_t dropped_results = 0;  ///< results evicted from a full ring
+};
+
+class StreamingHarService {
+ public:
+  /// Snapshots `model`'s weights into an InferencePlan and preallocates
+  /// every ring and arena; later training of `model` does not affect the
+  /// service.
+  StreamingHarService(const ServingConfig& config, har::HarModel& model);
+  ~StreamingHarService();
+  StreamingHarService(const StreamingHarService&) = delete;
+  StreamingHarService& operator=(const StreamingHarService&) = delete;
+
+  const ServingConfig& config() const { return config_; }
+
+  /// Activate the next stream slot; returns its id. Thread-safe; fails
+  /// once max_streams are active.
+  std::size_t add_stream();
+
+  /// Copy one radar frame into `stream`'s ring. Returns true when the
+  /// frame was admitted (possibly evicting an older queued frame under
+  /// kOldest), false when it was rejected. Thread-safe; one producer per
+  /// stream is the intended pattern but not required.
+  bool submit_frame(std::size_t stream, const dsp::RadarCube& cube);
+
+  /// Pop up to out.size() pending results for `stream` (oldest first).
+  /// Returns the number written. Thread-safe.
+  std::size_t poll(std::size_t stream, std::span<Classification> out);
+
+  StreamStats stream_stats(std::size_t stream) const;
+
+  /// Spawn the background batcher thread. start/stop/run_cycle must be
+  /// sequenced by the owner (single controlling thread).
+  void start();
+
+  /// Ask the batcher to exit and join it. Idempotent.
+  void stop();
+
+  /// Run one batcher cycle on the calling thread: claim up to batch_max
+  /// queued frames, run the fused DSP + micro-batched inference pipeline,
+  /// publish results. Returns the number of frames processed. Only valid
+  /// while the background batcher is NOT running — tests and benchmarks
+  /// use this for deterministic, single-threaded pumping.
+  std::size_t run_cycle();
+
+ private:
+  struct Stream;
+  struct Sched;
+  struct BatcherState;
+
+  Stream* stream_ptr(std::size_t idx) const;
+  void batcher_main();
+  std::size_t claim_round(std::size_t budget);
+  void process_round(std::size_t n_claims);
+
+  ServingConfig config_;
+  std::size_t window_frames_ = 0;   ///< T, from the model config
+  std::size_t num_classes_ = 0;
+  const float* range_window_ = nullptr;  ///< cached window table (stable)
+  har::InferencePlan plan_;
+
+  std::unique_ptr<Sched> sched_;
+  std::unique_ptr<BatcherState> batch_;
+
+  // Stream registry: the vector is reserved to max_streams up front, so
+  // element storage never moves; Stream objects are heap-stable.
+  struct Registry;
+  std::unique_ptr<Registry> registry_;
+
+  std::thread batcher_thread_;
+  bool started_ = false;  ///< owner-thread state, not shared
+};
+
+}  // namespace mmhar::serving

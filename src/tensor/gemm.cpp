@@ -156,23 +156,32 @@ void gemm_block_rows(Layout la, const float* a, std::size_t lda,
 
 // Shared driver. Per output element the reduction order is fixed by the
 // (kk ascending, p ascending) block order and never by the thread
-// partition, so any MMHAR_THREADS yields bit-identical C.
+// partition, so any MMHAR_THREADS yields bit-identical C. The B panel
+// buffer is thread-local and grow-only, so steady-state calls allocate
+// nothing (the streaming batcher's zero-alloc contract depends on this);
+// worker threads only ever read the caller's buffer.
 void gemm_driver(std::size_t m, std::size_t k, std::size_t n, float alpha,
                  Layout la, const float* a, std::size_t lda,
                  const float* apacked, Layout lb, const float* b,
-                 std::size_t ldb, float* c) {
+                 std::size_t ldb, float* c, bool allow_threads = true) {
   const std::size_t row_tiles = (m + kMR - 1) / kMR;
-  const bool threaded = m * n * k >= kParallelThreshold && row_tiles > 1;
-  std::vector<float> bbuf(std::min(k, kBlockK) *
-                          round_up(std::min(n, kBlockN), kNR));
+  const bool threaded =
+      allow_threads && m * n * k >= kParallelThreshold && row_tiles > 1;
+  thread_local std::vector<float> bbuf;
+  const std::size_t need = std::min(k, kBlockK) *
+                           round_up(std::min(n, kBlockN), kNR);
+  if (bbuf.size() < need) bbuf.resize(need);
+  // Resolve the buffer on the calling thread: the lambda below may run on
+  // pool workers, whose own thread_local bbuf is a different (empty) one.
+  float* const bp = bbuf.data();
   for (std::size_t kk = 0; kk < k; kk += kBlockK) {
     const std::size_t kend = std::min(k, kk + kBlockK);
     for (std::size_t nn = 0; nn < n; nn += kBlockN) {
       const std::size_t nend = std::min(n, nn + kBlockN);
-      pack_b_panels(lb, b, ldb, kk, kend, nn, nend, bbuf.data());
-      const auto rows = [&](std::size_t lo, std::size_t hi) {
+      pack_b_panels(lb, b, ldb, kk, kend, nn, nend, bp);
+      const auto rows = [&, bp](std::size_t lo, std::size_t hi) {
         gemm_block_rows(la, a, lda, apacked, m, k, kk, kend, nn, nend,
-                        bbuf.data(), alpha, c, n, lo, hi);
+                        bp, alpha, c, n, lo, hi);
       };
       if (threaded) {
         global_pool().parallel_for_chunked(0, row_tiles, rows);
@@ -261,6 +270,55 @@ void sgemm_packed_a(const PackedA& a, std::size_t n, float alpha,
   if (a.m == 0 || n == 0 || a.k == 0 || alpha == 0.0F) return;
   gemm_driver(a.m, a.k, n, alpha, Layout::kRowMajor, nullptr, a.k,
               a.data.data(), Layout::kRowMajor, b, n, c);
+}
+
+void sgemm_packed_a_serial(const PackedA& a, std::size_t n, float alpha,
+                           const float* b, float beta, float* c) {
+  scale_rows(a.m, n, beta, c);
+  if (a.m == 0 || n == 0 || a.k == 0 || alpha == 0.0F) return;
+  gemm_driver(a.m, a.k, n, alpha, Layout::kRowMajor, nullptr, a.k,
+              a.data.data(), Layout::kRowMajor, b, n, c,
+              /*allow_threads=*/false);
+}
+
+namespace {
+
+PackedB pack_b_impl(Layout layout, std::size_t k, std::size_t n,
+                    const float* b) {
+  MMHAR_REQUIRE(k > 0 && k <= kBlockK && n > 0 && n <= kBlockN,
+                "pack_b: operand must fit one cache block (k <= "
+                    << kBlockK << ", n <= " << kBlockN << "), got k=" << k
+                    << " n=" << n);
+  PackedB packed;
+  packed.k = k;
+  packed.n = n;
+  packed.data.resize(k * round_up(n, kNR));
+  // Single (kk=0, nn=0) block: the packed image is byte-identical to what
+  // gemm_driver builds per call, so sgemm_packed_b replays the exact same
+  // microkernel inputs as sgemm/sgemm_bt.
+  pack_b_panels(layout, b, layout == Layout::kRowMajor ? n : k, 0, k, 0, n,
+                packed.data.data());
+  return packed;
+}
+
+}  // namespace
+
+PackedB pack_b(std::size_t k, std::size_t n, const float* b) {
+  return pack_b_impl(Layout::kRowMajor, k, n, b);
+}
+
+PackedB pack_bt(std::size_t k, std::size_t n, const float* b) {
+  return pack_b_impl(Layout::kTransposed, k, n, b);
+}
+
+void sgemm_packed_b(std::size_t m, float alpha, const float* a,
+                    const PackedB& b, float beta, float* c) {
+  scale_rows(m, b.n, beta, c);
+  if (m == 0 || b.n == 0 || b.k == 0 || alpha == 0.0F) return;
+  const std::size_t row_tiles = (m + kMR - 1) / kMR;
+  MMHAR_CHECK(b.data.size() == b.k * round_up(b.n, kNR));
+  gemm_block_rows(Layout::kRowMajor, a, b.k, nullptr, m, b.k, 0, b.k, 0, b.n,
+                  b.data.data(), alpha, c, b.n, 0, row_tiles);
 }
 
 }  // namespace mmhar

@@ -53,4 +53,42 @@ PackedA pack_at(std::size_t m, std::size_t k, const float* a);
 void sgemm_packed_a(const PackedA& a, std::size_t n, float alpha,
                     const float* b, float beta, float* c);
 
+/// As sgemm_packed_a but guaranteed to run entirely on the calling thread
+/// (no pool dispatch) and allocation-free: B panels are packed into a
+/// thread-local grow-only buffer. Bit-identical to sgemm_packed_a — the
+/// per-element reduction order is fixed by the k-blocking, never by the
+/// thread partition. The streaming batcher's conv stage uses this form.
+void sgemm_packed_a_serial(const PackedA& a, std::size_t n, float alpha,
+                           const float* b, float beta, float* c);
+
+/// A right-hand operand pre-packed into the microkernel's panel layout
+/// (kNR-wide column panels, k-major within a panel, tail columns
+/// zero-padded). Restricted to operands that fit a single cache block
+/// (k <= 256, n <= 1024) so the packed image is exactly what the driver
+/// would build per call — inference-sized weight matrices (Dense, LSTM
+/// gate blocks, classifier heads) all qualify. Pack once at plan-build
+/// time; every later product skips the B-packing traffic entirely, which
+/// is the dominant cost of small-m gate GEMMs.
+struct PackedB {
+  std::size_t k = 0;
+  std::size_t n = 0;
+  std::vector<float> data;
+};
+
+/// Pack row-major B[k x n] into microkernel panel layout.
+PackedB pack_b(std::size_t k, std::size_t n, const float* b);
+
+/// Pack B^T (logical k x n) where B is stored n x k row-major — the
+/// layout sgemm_bt consumes (weights stored [out x in]).
+PackedB pack_bt(std::size_t k, std::size_t n, const float* b);
+
+/// C[m x b.n] = alpha * A[m x b.k] * B + beta * C with a pre-packed B.
+/// Runs entirely on the calling thread and performs no heap allocation
+/// (A tiles are packed into a stack buffer). Bit-identical to
+/// sgemm()/sgemm_bt() on the same operands for any m — there is no
+/// single-row fast path here, so micro-batched and per-sample forwards
+/// agree to the bit.
+void sgemm_packed_b(std::size_t m, float alpha, const float* a,
+                    const PackedB& b, float beta, float* c);
+
 }  // namespace mmhar

@@ -1,0 +1,155 @@
+// End-to-end tests for tools/bench_gate: the real binary runs as a
+// subprocess over fixture JSON pairs and the exit code + report lines are
+// asserted. The binary path is injected via MMHAR_BENCH_GATE_BIN by
+// tests/CMakeLists.txt.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout + stderr interleaved
+};
+
+RunResult run(const std::string& cmd) {
+  RunResult r;
+  const std::string full = cmd + " 2>&1";
+  FILE* pipe = popen(full.c_str(), "r");
+  if (pipe == nullptr) return r;
+  std::array<char, 4096> buf{};
+  std::size_t n = 0;
+  while ((n = fread(buf.data(), 1, buf.size(), pipe)) > 0)
+    r.output.append(buf.data(), n);
+  const int status = pclose(pipe);
+  if (status >= 0 && WIFEXITED(status)) r.exit_code = WEXITSTATUS(status);
+  return r;
+}
+
+const std::string kGate = std::string("\"") + MMHAR_BENCH_GATE_BIN + "\"";
+
+fs::path scratch_dir() {
+  const fs::path d = fs::temp_directory_path() / "mmhar_bench_gate_test";
+  fs::create_directories(d);
+  return d;
+}
+
+fs::path write_json(const std::string& name, const std::string& text) {
+  const fs::path p = scratch_dir() / name;
+  std::ofstream out(p);
+  out << text;
+  return p;
+}
+
+std::string gate_cmd(const fs::path& base, const fs::path& cur,
+                     const std::string& extra = "") {
+  return kGate + " --baseline \"" + base.string() + "\" --current \"" +
+         cur.string() + "\"" + (extra.empty() ? "" : " " + extra);
+}
+
+const char* const kBaseline = R"({
+  "bench": "serving",
+  "threads": 0,
+  "BM_Gemm/256": {"seconds": 1.0e-3, "gflops": 30.0},
+  "N64": {"classifications_per_sec": 800.0, "speedup": 5.0, "p99_ms": 100.0}
+})";
+
+TEST(BenchGate, PassesWhenWithinThreshold) {
+  const fs::path base = write_json("base.json", kBaseline);
+  const fs::path cur = write_json("cur_ok.json", R"({
+    "bench": "serving",
+    "threads": 0,
+    "BM_Gemm/256": {"seconds": 1.1e-3, "gflops": 28.0},
+    "N64": {"classifications_per_sec": 700.0, "speedup": 4.2, "p99_ms": 115.0}
+  })");
+  const RunResult r = run(gate_cmd(base, cur));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("metric(s) within"), std::string::npos) << r.output;
+}
+
+TEST(BenchGate, FailsOnSlowerSeconds) {
+  const fs::path base = write_json("base.json", kBaseline);
+  const fs::path cur = write_json("cur_slow.json", R"({
+    "BM_Gemm/256": {"seconds": 1.3e-3, "gflops": 30.0},
+    "N64": {"classifications_per_sec": 800.0, "speedup": 5.0, "p99_ms": 100.0}
+  })");
+  const RunResult r = run(gate_cmd(base, cur));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("FAIL  BM_Gemm/256.seconds"), std::string::npos)
+      << r.output;
+}
+
+TEST(BenchGate, FailsOnLowerSpeedup) {
+  const fs::path base = write_json("base.json", kBaseline);
+  const fs::path cur = write_json("cur_slow_ratio.json", R"({
+    "BM_Gemm/256": {"seconds": 1.0e-3, "gflops": 30.0},
+    "N64": {"classifications_per_sec": 800.0, "speedup": 3.0, "p99_ms": 100.0}
+  })");
+  const RunResult r = run(gate_cmd(base, cur));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("FAIL  N64.speedup"), std::string::npos) << r.output;
+}
+
+TEST(BenchGate, RatiosOnlyIgnoresAbsoluteMetrics) {
+  const fs::path base = write_json("base.json", kBaseline);
+  // Everything absolute regressed badly, but the speedup ratio held: the
+  // machine-portable mode must pass.
+  const fs::path cur = write_json("cur_other_machine.json", R"({
+    "BM_Gemm/256": {"seconds": 9.0e-3, "gflops": 3.0},
+    "N64": {"classifications_per_sec": 80.0, "speedup": 4.8, "p99_ms": 900.0}
+  })");
+  EXPECT_EQ(run(gate_cmd(base, cur)).exit_code, 1);
+  const RunResult r = run(gate_cmd(base, cur, "--ratios-only"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(BenchGate, MissingBaselineKeyFailsFullModeOnly) {
+  const fs::path base = write_json("base.json", kBaseline);
+  const fs::path cur = write_json("cur_missing.json", R"({
+    "BM_Gemm/256": {"seconds": 1.0e-3, "gflops": 30.0},
+    "N64": {"classifications_per_sec": 800.0, "p99_ms": 100.0}
+  })");
+  const RunResult full = run(gate_cmd(base, cur));
+  EXPECT_EQ(full.exit_code, 1) << full.output;
+  EXPECT_NE(full.output.find("missing from current"), std::string::npos)
+      << full.output;
+  // In --ratios-only the missing speedup is reported but skipped; with no
+  // other speedup key left, the gate refuses to pass vacuously.
+  const RunResult ratios = run(gate_cmd(base, cur, "--ratios-only"));
+  EXPECT_EQ(ratios.exit_code, 2) << ratios.output;
+}
+
+TEST(BenchGate, CustomThresholdAndNewKeys) {
+  const fs::path base = write_json("base.json", kBaseline);
+  const fs::path cur = write_json("cur_custom.json", R"({
+    "BM_Gemm/256": {"seconds": 1.4e-3, "gflops": 30.0},
+    "N64": {"classifications_per_sec": 800.0, "speedup": 5.0, "p99_ms": 100.0},
+    "N128": {"speedup": 6.0}
+  })");
+  EXPECT_EQ(run(gate_cmd(base, cur)).exit_code, 1);  // 40% > 25%
+  const RunResult loose = run(gate_cmd(base, cur, "--threshold 0.5"));
+  EXPECT_EQ(loose.exit_code, 0) << loose.output;
+  EXPECT_NE(loose.output.find("NEW   N128.speedup"), std::string::npos)
+      << loose.output;
+}
+
+TEST(BenchGate, UsageAndParseErrors) {
+  EXPECT_EQ(run(kGate).exit_code, 2);
+  EXPECT_EQ(run(kGate + " --baseline missing.json --current missing.json")
+                .exit_code,
+            2);
+  const fs::path base = write_json("base.json", kBaseline);
+  const fs::path bad = write_json("bad.json", "{ not json ]");
+  EXPECT_EQ(run(gate_cmd(base, bad)).exit_code, 2);
+}
+
+}  // namespace

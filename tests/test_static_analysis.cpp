@@ -234,6 +234,27 @@ TEST(AnalyzeRealTree, IsCleanWithTheCheckedInRegistry) {
   EXPECT_NE(r.output.find("0 violation(s)"), std::string::npos) << r.output;
 }
 
+TEST(AnalyzeRealTree, ServingKnobsAreRegisteredAndDocumented) {
+  // The streaming-serving knobs ship as a family; each must have both a
+  // registry row and a README table row, so a future rename can't leave a
+  // half-documented knob behind the analyzer's back.
+  const char* const kServingKnobs[] = {
+      "MMHAR_SERVING_BATCH",       "MMHAR_SERVING_DROP_POLICY",
+      "MMHAR_SERVING_FRAMES",      "MMHAR_SERVING_QUEUE_DEPTH",
+      "MMHAR_SERVING_RATE_HZ",     "MMHAR_SERVING_STREAMS",
+  };
+  const std::string registry =
+      read_file(kRoot / "src" / "common" / "env_registry.cpp");
+  const std::string readme = read_file(kRoot / "README.md");
+  for (const char* knob : kServingKnobs) {
+    EXPECT_NE(registry.find(std::string("{\"") + knob + "\""),
+              std::string::npos)
+        << knob << " has no registry row";
+    EXPECT_NE(readme.find(std::string("`") + knob + "`"), std::string::npos)
+        << knob << " is missing from the README env table";
+  }
+}
+
 TEST(AnalyzeRealTree, DeletingAnyRegistryRowFails) {
   // The acceptance property for the closed env-knob namespace: removing any
   // single row from the real registry must turn the analyzer red, because

@@ -1,0 +1,264 @@
+// Perf-regression gate over the committed BENCH_*.json baselines.
+//
+//   bench_gate --baseline BENCH_x.json --current build/BENCH_x.json
+//              [--threshold 0.25] [--ratios-only]
+//
+// Parses the flat or one-level-nested numeric JSON the bench reporters
+// emit (keys become "N64.speedup"-style dotted paths) and compares every
+// gated metric in the INTERSECTION of the two files:
+//
+//  * lower-is-better  (seconds, s_per_antenna, p50_ms, p99_ms, p999_ms):
+//    fail when current > baseline * (1 + threshold)
+//  * higher-is-better (speedup, gflops, classifications_per_sec):
+//    fail when current < baseline * (1 - threshold)
+//
+// Other numeric fields (configuration echoes like threads, rate_hz) are
+// informational and never gated. Keys present in only one file are
+// listed; in full mode a baseline key missing from the current run fails
+// the gate (a silently vanished metric is a regression of the report
+// itself), while --ratios-only restricts gating to `speedup` fields,
+// which are machine-portable — absolute seconds measured on different
+// hardware are not comparable, so CI uses --ratios-only against the
+// committed baselines. Exit code: 0 pass, 1 regression, 2 usage/parse
+// error.
+//
+// No library dependencies on purpose (like the other tools/ binaries):
+// the gate must build and run even when src/ itself is broken.
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Metrics {
+  std::map<std::string, double> values;  // dotted-path key -> number
+};
+
+// Minimal parser for the subset of JSON the bench reporters write: an
+// object of string/number values and one level of nested objects. Throws
+// std::runtime_error on malformed input.
+class Parser {
+ public:
+  explicit Parser(std::string text) : text_(std::move(text)) {}
+
+  Metrics parse() {
+    Metrics m;
+    skip_ws();
+    expect('{');
+    parse_object(m, "");
+    skip_ws();
+    if (pos_ != text_.size()) fail("trailing content after top-level object");
+    return m;
+  }
+
+ private:
+  void parse_object(Metrics& m, const std::string& prefix) {
+    skip_ws();
+    if (peek() == '}') {
+      ++pos_;
+      return;
+    }
+    for (;;) {
+      skip_ws();
+      // Cold path, one tiny string per key. mmhar-lint: allow(loop-alloc)
+      const std::string key = parse_string();
+      skip_ws();
+      expect(':');
+      skip_ws();
+      const char c = peek();
+      if (c == '{') {
+        ++pos_;
+        if (!prefix.empty()) fail("more than one level of nesting");
+        parse_object(m, key + ".");
+      } else if (c == '"') {
+        parse_string();  // string values are informational, skipped
+      } else {
+        m.values[prefix + key] = parse_number();
+      }
+      skip_ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return;
+    }
+  }
+
+  std::string parse_string() {
+    expect('"');
+    std::string out;
+    while (pos_ < text_.size() && text_[pos_] != '"') {
+      if (text_[pos_] == '\\') fail("escapes unsupported");
+      out.push_back(text_[pos_++]);
+    }
+    expect('"');
+    return out;
+  }
+
+  double parse_number() {
+    const std::size_t start = pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) != 0 ||
+            std::strchr("+-.eE", text_[pos_]) != nullptr))
+      ++pos_;
+    if (pos_ == start) fail("expected a number");
+    return std::strtod(text_.substr(start, pos_ - start).c_str(), nullptr);
+  }
+
+  char peek() {
+    if (pos_ >= text_.size()) fail("unexpected end of input");
+    return text_[pos_];
+  }
+
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0)
+      ++pos_;
+  }
+
+  [[noreturn]] void fail(const std::string& why) {
+    throw std::runtime_error(why + " at offset " + std::to_string(pos_));
+  }
+
+  std::string text_;
+  std::size_t pos_ = 0;
+};
+
+// The metric basename (text after the last '.') decides gating direction.
+const char* const kLowerIsBetter[] = {"seconds", "s_per_antenna", "p50_ms",
+                                      "p99_ms", "p999_ms"};
+const char* const kHigherIsBetter[] = {"speedup", "gflops",
+                                       "classifications_per_sec"};
+
+std::string basename_of(const std::string& key) {
+  const std::size_t dot = key.rfind('.');
+  return dot == std::string::npos ? key : key.substr(dot + 1);
+}
+
+enum class Direction { kLower, kHigher, kUngated };
+
+Direction direction_of(const std::string& key) {
+  const std::string base = basename_of(key);
+  for (const char* name : kLowerIsBetter)
+    if (base == name) return Direction::kLower;
+  for (const char* name : kHigherIsBetter)
+    if (base == name) return Direction::kHigher;
+  return Direction::kUngated;
+}
+
+Metrics load(const char* path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return Parser(ss.str()).parse();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char* baseline_path = nullptr;
+  const char* current_path = nullptr;
+  double threshold = 0.25;
+  bool ratios_only = false;
+  for (int i = 1; i < argc; ++i) {
+    // A handful of argv entries. mmhar-lint: allow(loop-alloc)
+    const std::string arg = argv[i];
+    if (arg == "--baseline" && i + 1 < argc) {
+      baseline_path = argv[++i];
+    } else if (arg == "--current" && i + 1 < argc) {
+      current_path = argv[++i];
+    } else if (arg == "--threshold" && i + 1 < argc) {
+      threshold = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--ratios-only") {
+      ratios_only = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_gate --baseline FILE --current FILE "
+                   "[--threshold 0.25] [--ratios-only]\n");
+      return 2;
+    }
+  }
+  if (baseline_path == nullptr || current_path == nullptr ||
+      threshold <= 0.0) {
+    std::fprintf(stderr, "bench_gate: --baseline and --current are required "
+                         "and --threshold must be positive\n");
+    return 2;
+  }
+
+  Metrics base;
+  Metrics cur;
+  try {
+    base = load(baseline_path);
+    cur = load(current_path);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "bench_gate: %s\n", e.what());
+    return 2;
+  }
+
+  int failures = 0;
+  int gated = 0;
+  for (const auto& [key, base_val] : base.values) {
+    Direction dir = direction_of(key);
+    if (dir == Direction::kUngated) continue;
+    if (ratios_only && basename_of(key) != "speedup") continue;
+    const auto it = cur.values.find(key);
+    if (it == cur.values.end()) {
+      if (ratios_only) {
+        std::printf("SKIP  %-45s missing from current run\n", key.c_str());
+      } else {
+        std::printf("FAIL  %-45s present in baseline, missing from current\n",
+                    key.c_str());
+        ++failures;
+      }
+      continue;
+    }
+    const double cur_val = it->second;
+    ++gated;
+    bool ok = true;
+    double limit = 0.0;
+    if (dir == Direction::kLower) {
+      limit = base_val * (1.0 + threshold);
+      ok = cur_val <= limit;
+    } else {
+      limit = base_val * (1.0 - threshold);
+      ok = cur_val >= limit;
+    }
+    std::printf("%s  %-45s baseline %12.4f  current %12.4f  limit %12.4f\n",
+                ok ? "ok  " : "FAIL", key.c_str(), base_val, cur_val, limit);
+    if (!ok) ++failures;
+  }
+  for (const auto& [key, val] : cur.values) {
+    (void)val;
+    if (direction_of(key) == Direction::kUngated) continue;
+    if (base.values.find(key) == base.values.end())
+      std::printf("NEW   %-45s not in baseline (not gated)\n", key.c_str());
+  }
+
+  if (gated == 0) {
+    std::fprintf(stderr, "bench_gate: no gated metrics in common — check the "
+                         "file pairing\n");
+    return 2;
+  }
+  if (failures > 0) {
+    std::fprintf(stderr,
+                 "bench_gate: %d metric(s) regressed past %.0f%% vs %s\n",
+                 failures, 100.0 * threshold, baseline_path);
+    return 1;
+  }
+  std::printf("bench_gate: %d metric(s) within %.0f%% of baseline\n", gated,
+              100.0 * threshold);
+  return 0;
+}
