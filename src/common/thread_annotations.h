@@ -82,3 +82,42 @@
 /// analysis cannot see the discipline.
 #define MMHAR_NO_THREAD_SAFETY_ANALYSIS \
   MMHAR_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+// ---------------------------------------------------------------------------
+// Real-time-safety annotations (consumed by tools/mmhar_rtcheck).
+//
+// MMHAR_REALTIME marks a function on the serving steady-state path: the
+// static checker proves that nothing reachable from it allocates, acquires
+// a lock, blocks, throws, or reads an unregistered MMHAR_* env knob.
+// MMHAR_REALTIME_HANDOFF is the same contract except that the function's
+// *own body* may acquire bounded critical sections through the annotated
+// lock wrappers in common/mutex.h (the slot hand-off protocol: free-list /
+// queued-ring exchange, result publication, plan-cache lookup). The
+// exemption does not propagate: callees of a hand-off function are checked
+// under the full MMHAR_REALTIME rules.
+//
+// Both macros sit in the trailing attribute position, after the parameter
+// list: `void submit_frame(...) MMHAR_REALTIME_HANDOFF;`.
+//
+// Off-clang (and on clang without the opt-in below) they expand to
+// nothing; tools/mmhar_rtcheck reads them textually either way. When
+// CMake defines MMHAR_RT_EFFECT_ATTRIBUTES (the MMHAR_SANITIZE=realtime
+// leg) and the compiler understands clang's function-effect attributes,
+// MMHAR_REALTIME maps to [[clang::nonblocking]] — the effect
+// RealtimeSanitizer instruments, forbidding locks — and
+// MMHAR_REALTIME_HANDOFF to the weaker [[clang::nonallocating]], which
+// permits the bounded lock hand-off but still bans allocation and
+// exceptions. The mapping is opt-in rather than always-on under clang so
+// the existing clang CI legs do not take on -Wfunction-effects churn.
+#if defined(MMHAR_RT_EFFECT_ATTRIBUTES) && defined(__clang__) && \
+    defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::nonblocking) && \
+    __has_cpp_attribute(clang::nonallocating)
+#define MMHAR_REALTIME [[clang::nonblocking]]
+#define MMHAR_REALTIME_HANDOFF [[clang::nonallocating]]
+#endif
+#endif
+#ifndef MMHAR_REALTIME
+#define MMHAR_REALTIME          // no-op: checked textually by mmhar_rtcheck
+#define MMHAR_REALTIME_HANDOFF  // no-op: checked textually by mmhar_rtcheck
+#endif

@@ -55,15 +55,21 @@ struct PlanCache {
   std::map<std::size_t, Plan> plans MMHAR_GUARDED_BY(mu);
 };
 
-const Plan& plan_for(std::size_t n) {
+const Plan& plan_for(std::size_t n) MMHAR_REALTIME_HANDOFF {
   static PlanCache cache;
   {
     ReaderLock lk(cache.mu);
     const auto it = cache.plans.find(n);
     if (it != cache.plans.end()) return it->second;
   }
+  // mmhar-rtcheck: allow(alloc, calls) — first-use-per-size plan
+  // construction (build_plan allocates freely on this cold path); every
+  // later call at this size returns through the shared-lock lookup above
+  // without touching the allocator.
   Plan built = build_plan(n);
   WriterLock lk(cache.mu);
+  // mmhar-rtcheck: allow(alloc) — same cold path: one map node per FFT
+  // size for the lifetime of the process.
   return cache.plans.try_emplace(n, std::move(built)).first->second;
 }
 
@@ -80,10 +86,12 @@ struct Workspace {
   void ensure(std::size_t n, bool want_acc) {
     const std::size_t need = n * kLanes;
     if (re.size() < need) {
-      re.resize(need);
-      im.resize(need);
+      re.resize(need);   // mmhar-rtcheck: allow(alloc) — grow-once
+      im.resize(need);   // mmhar-rtcheck: allow(alloc) — thread-local
     }
-    if (want_acc && acc.size() < need) acc.resize(need);
+    if (want_acc && acc.size() < need)
+      acc.resize(need);  // mmhar-rtcheck: allow(alloc) — workspace; a
+    // warmed steady-state call takes the size check, never the grow.
   }
 };
 

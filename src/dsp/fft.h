@@ -26,6 +26,8 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace mmhar::dsp {
 
 using cfloat = std::complex<float>;
@@ -138,7 +140,7 @@ struct FftManyMagIo {
 void fft_many_crop_multi(const FftManyJob& proto, std::size_t keep,
                          std::span<const FftManyIo> ios,
                          std::size_t out_lane_stride,
-                         std::size_t out_elem_stride);
+                         std::size_t out_elem_stride) MMHAR_REALTIME;
 
 /// As fft_many_mag_accum, over `ios.size()` frames sharing `proto`'s
 /// geometry (the rep axis folds serially per lane, as in the single-base
@@ -146,6 +148,6 @@ void fft_many_crop_multi(const FftManyJob& proto, std::size_t keep,
 void fft_many_mag_accum_multi(const FftManyJob& proto, bool shift,
                               std::span<const FftManyMagIo> ios,
                               std::size_t out_lane_stride,
-                              std::size_t out_elem_stride);
+                              std::size_t out_elem_stride) MMHAR_REALTIME;
 
 }  // namespace mmhar::dsp

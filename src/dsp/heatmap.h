@@ -10,6 +10,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 #include "dsp/fft.h"
 #include "dsp/window.h"
 #include "tensor/tensor.h"
@@ -105,7 +107,7 @@ void remove_static_clutter_serial(RangeSpectra& spectra);
 /// RangeSpectra (the serving layer's spectra arena).
 void remove_static_clutter_serial(cfloat* data, std::size_t num_chirps,
                                   std::size_t num_antennas,
-                                  std::size_t range_bins);
+                                  std::size_t range_bins) MMHAR_REALTIME;
 
 /// Range-Doppler Image: [doppler_bins x range_bins], Doppler-shifted so
 /// zero velocity is the center row. Magnitudes are summed over antennas.

@@ -155,6 +155,8 @@ void InferenceScratch::reserve(const InferencePlan& plan,
   const std::size_t o1 = plan.h1 * plan.w1;
   const std::size_t o2 = plan.h2 * plan.w2;
   const auto grow = [](std::vector<float>& v, std::size_t need) {
+    // mmhar-rtcheck: allow(alloc) — grow-once scratch; a forward at a
+    // warmed batch size takes the size check, never the resize.
     if (v.size() < need) v.resize(need);
   };
   grow(col, std::max(fan1 * o1, fan2 * o2));

@@ -25,6 +25,7 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "har/model.h"
 #include "tensor/gemm.h"
 
@@ -81,6 +82,7 @@ struct InferenceScratch {
 /// HarModel::forward(input, /*training=*/false) on the weights the plan
 /// was built from.
 void infer_forward(const InferencePlan& plan, InferenceScratch& scratch,
-                   const float* input, std::size_t batch, float* logits);
+                   const float* input, std::size_t batch,
+                   float* logits) MMHAR_REALTIME;
 
 }  // namespace mmhar::har

@@ -105,6 +105,8 @@ Tensor Conv2D::forward(const Tensor& input, bool /*training*/) {
   // The weight matrix is replayed against every im2col'd image: pack it
   // into microkernel panels once and reuse across the batch.
   const PackedA wpack = pack_a(out_channels_, fan_in, weight_.data());
+  MMHAR_CHECK(input.size() == batch * in_channels_ * in_h_ * in_w_ &&
+              output.size() == batch * out_channels_ * ocells);
   for (std::size_t b = 0; b < batch; ++b) {
     im2col(input.data() + b * in_channels_ * in_h_ * in_w_, in_h_, in_w_,
            col.data());
@@ -136,8 +138,13 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
   // W^T is likewise shared by every image's input-gradient product.
   const PackedA wtpack = pack_at(fan_in, out_channels_, weight_.data());
 
+  MMHAR_CHECK(grad_output.size() == batch * out_channels_ * ocells &&
+              input_.size() == batch * in_channels_ * in_h_ * in_w_ &&
+              grad_input.size() == input_.size());
   for (std::size_t b = 0; b < batch; ++b) {
     const float* gout = grad_output.data() + b * out_channels_ * ocells;
+    const float* in_img = input_.data() + b * in_channels_ * in_h_ * in_w_;
+    float* gin_img = grad_input.data() + b * in_channels_ * in_h_ * in_w_;
     // Bias gradient.
     for (std::size_t oc = 0; oc < out_channels_; ++oc) {
       const float* plane = gout + oc * ocells;
@@ -146,14 +153,12 @@ Tensor Conv2D::backward(const Tensor& grad_output) {
       grad_bias_[oc] += acc;
     }
     // Weight gradient: gW += gout[ocells layout] * col^T.
-    im2col(input_.data() + b * in_channels_ * in_h_ * in_w_, in_h_, in_w_,
-           col.data());
+    im2col(in_img, in_h_, in_w_, col.data());
     sgemm_bt(out_channels_, ocells, fan_in, 1.0F, gout, col.data(), 1.0F,
              grad_weight_.data());
     // Input gradient: gcol = W^T * gout, then scatter with col2im.
     sgemm_packed_a(wtpack, ocells, 1.0F, gout, 0.0F, gcol.data());
-    col2im(gcol.data(), in_h_, in_w_,
-           grad_input.data() + b * in_channels_ * in_h_ * in_w_);
+    col2im(gcol.data(), in_h_, in_w_, gin_img);
   }
   return grad_input;
 }
@@ -177,6 +182,8 @@ Tensor MaxPool2D::forward(const Tensor& input, bool /*training*/) {
   Tensor output({batch, ch, oh, ow});
   argmax_.assign(output.size(), 0);
 
+  MMHAR_CHECK(input.size() == batch * ch * h * w &&
+              output.size() == batch * ch * oh * ow);
   for (std::size_t bc = 0; bc < batch * ch; ++bc) {
     const float* plane = input.data() + bc * h * w;
     float* out = output.data() + bc * oh * ow;

@@ -47,6 +47,7 @@ Tensor LSTM::forward(const Tensor& input, bool /*training*/) {
 
   Tensor h_prev({batch, h_dim});
   Tensor c_prev({batch, h_dim});
+  MMHAR_CHECK(input.size() == batch * steps * input_dim_);
 
   for (std::size_t t = 0; t < steps; ++t) {
     Tensor& z = gates_[t];
@@ -62,6 +63,7 @@ Tensor LSTM::forward(const Tensor& input, bool /*training*/) {
              z.data());
     sgemm_bt(batch, h_dim, g4, 1.0F, h_prev.data(), w_h_.data(), 1.0F,
              z.data());
+    MMHAR_CHECK(z.size() == batch * g4);
     for (std::size_t b = 0; b < batch; ++b) {
       float* zr = z.data() + b * g4;
       for (std::size_t j = 0; j < g4; ++j) zr[j] += bias_[j];
@@ -69,6 +71,8 @@ Tensor LSTM::forward(const Tensor& input, bool /*training*/) {
     // Nonlinearities and state update.
     Tensor& c = cells_[t];
     Tensor& h = hiddens_[t];
+    MMHAR_CHECK(c_prev.size() == batch * h_dim && c.size() == batch * h_dim &&
+                h.size() == batch * h_dim);
     for (std::size_t b = 0; b < batch; ++b) {
       float* zr = z.data() + b * g4;
       const float* cp = c_prev.data() + b * h_dim;
@@ -93,6 +97,7 @@ Tensor LSTM::forward(const Tensor& input, bool /*training*/) {
 
   if (!return_sequence_) return hiddens_.back();
   Tensor out({batch, steps, h_dim});
+  MMHAR_CHECK(out.size() == batch * steps * h_dim && hiddens_.size() == steps);
   for (std::size_t t = 0; t < steps; ++t)
     for (std::size_t b = 0; b < batch; ++b)
       std::copy(hiddens_[t].data() + b * h_dim,
@@ -129,6 +134,7 @@ Tensor LSTM::backward(const Tensor& grad_output) {
     const Tensor* c_prev = t > 0 ? &cells_[t - 1] : nullptr;
     const Tensor* h_prev = t > 0 ? &hiddens_[t - 1] : nullptr;
 
+    MMHAR_CHECK(z.size() == batch * g4 && c.size() == batch * h_dim);
     for (std::size_t b = 0; b < batch; ++b) {
       const float* zr = z.data() + b * g4;
       const float* cr = c.data() + b * h_dim;
@@ -153,6 +159,7 @@ Tensor LSTM::backward(const Tensor& grad_output) {
     }
 
     // Parameter gradients.
+    MMHAR_CHECK(input_.size() == batch * steps * input_dim_);
     for (std::size_t b = 0; b < batch; ++b) {
       const float* src = input_.data() + (b * steps + t) * input_dim_;
       std::copy(src, src + input_dim_, x_step.data() + b * input_dim_);
@@ -163,6 +170,7 @@ Tensor LSTM::backward(const Tensor& grad_output) {
       sgemm_at(g4, batch, h_dim, 1.0F, dz.data(), h_prev->data(), 1.0F,
                grad_w_h_.data());
     }
+    MMHAR_CHECK(dz.size() == batch * g4);
     for (std::size_t b = 0; b < batch; ++b) {
       const float* dzr = dz.data() + b * g4;
       for (std::size_t j = 0; j < g4; ++j) grad_bias_[j] += dzr[j];
@@ -171,6 +179,7 @@ Tensor LSTM::backward(const Tensor& grad_output) {
     // Input gradient for this step.
     sgemm(batch, g4, input_dim_, 1.0F, dz.data(), w_x_.data(), 0.0F,
           dx_step.data());
+    MMHAR_CHECK(grad_input.size() == batch * steps * input_dim_);
     for (std::size_t b = 0; b < batch; ++b)
       std::copy(dx_step.data() + b * input_dim_,
                 dx_step.data() + (b + 1) * input_dim_,

@@ -78,8 +78,11 @@ struct StreamingHarService::Registry {
 
 // Everything below is touched only by whichever single thread runs
 // run_cycle (the batcher thread, or the owner when pumping manually), so
-// it needs no locking. All buffers are preallocated in the constructor;
-// the cycle only clear()s and refills them, which never reallocates.
+// it needs no locking. All buffers are sized once in the constructor; the
+// cycle refills them through explicit fill counters (n_cycle_streams,
+// n_jobs, the per-round claim count) so the steady-state path contains no
+// container-growth call at all — which is what lets mmhar_rtcheck prove
+// the zero-allocation contract statically instead of sampling it.
 struct StreamingHarService::BatcherState {
   struct Claim {
     Stream* stream = nullptr;
@@ -102,13 +105,15 @@ struct StreamingHarService::BatcherState {
     Clock::time_point arrival;       ///< newest window frame submit time
   };
 
-  std::vector<Stream*> cycle_streams;
+  std::vector<Stream*> cycle_streams;    ///< first n_cycle_streams valid
+  std::size_t n_cycle_streams = 0;
   std::vector<Claim> claims;             ///< current round only
   std::vector<dsp::FftManyIo> range_ios;
   std::vector<dsp::FftManyMagIo> angle_ios;
   std::vector<dsp::cfloat> spectra;      ///< per-round spectra arena
   std::vector<StreamWindow> windows;     ///< indexed by stream id
-  std::vector<Job> jobs;                 ///< whole cycle
+  std::vector<Job> jobs;                 ///< whole cycle; first n_jobs valid
+  std::size_t n_jobs = 0;
   std::vector<float> net_input;          ///< [jobs x T x R x A]
   std::vector<float> logits;             ///< [jobs x C]
   har::InferenceScratch scratch;
@@ -175,15 +180,15 @@ StreamingHarService::StreamingHarService(const ServingConfig& config,
   const std::size_t spectra_elems =
       config.num_chirps * config.num_antennas * hm.range_bins;
   batch_ = std::make_unique<BatcherState>();
-  batch_->cycle_streams.reserve(config.max_streams);
-  batch_->claims.reserve(config.batch_max);
-  batch_->range_ios.reserve(config.batch_max);
-  batch_->angle_ios.reserve(config.batch_max);
+  batch_->cycle_streams.resize(config.max_streams, nullptr);
+  batch_->claims.resize(config.batch_max);
+  batch_->range_ios.resize(config.batch_max);
+  batch_->angle_ios.resize(config.batch_max);
   batch_->spectra.resize(config.batch_max * spectra_elems);
   batch_->windows.resize(config.max_streams);
   for (BatcherState::StreamWindow& w : batch_->windows)
     w.drai.resize(window_frames_ * hw);
-  batch_->jobs.reserve(config.batch_max);
+  batch_->jobs.resize(config.batch_max);
   batch_->net_input.resize(config.batch_max * window_frames_ * hw);
   batch_->logits.resize(config.batch_max * num_classes_);
   batch_->scratch.reserve(plan_, config.batch_max);
@@ -300,7 +305,7 @@ StreamStats StreamingHarService::stream_stats(std::size_t stream) const {
 // batch_->claims in per-stream FIFO order.
 std::size_t StreamingHarService::claim_round(std::size_t budget) {
   BatcherState& bs = *batch_;
-  const std::size_t n = bs.cycle_streams.size();
+  const std::size_t n = bs.n_cycle_streams;
   if (n == 0) return 0;
   std::size_t got = 0;
   for (std::size_t k = 0; k < n && got < budget; ++k) {
@@ -311,8 +316,7 @@ std::size_t StreamingHarService::claim_round(std::size_t budget) {
     const std::size_t slot = s->queued[s->qhead];
     s->qhead = (s->qhead + 1) % config_.queue_depth;
     --s->qcount;
-    bs.claims.push_back(
-        {s, sid, slot, s->slot_seq[slot], s->slot_arrival[slot]});
+    bs.claims[got] = {s, sid, slot, s->slot_seq[slot], s->slot_arrival[slot]};
     ++got;
   }
   bs.rr = (bs.rr + 1) % n;
@@ -335,11 +339,11 @@ void StreamingHarService::process_round(std::size_t n_claims) {
   // Stage 1: every claimed frame's windowed Range-FFT in ONE batched
   // call — SIMD lanes run across (chirp, antenna) rows of all frames of
   // all streams in this round.
-  bs.range_ios.clear();
+  MMHAR_CHECK(bs.range_ios.size() >= n_claims);
   for (std::size_t i = 0; i < n_claims; ++i) {
     const BatcherState::Claim& cl = bs.claims[i];
-    bs.range_ios.push_back({cl.stream->slot_data[cl.slot].data(),
-                            spectra + i * spectra_elems});
+    bs.range_ios[i] = {cl.stream->slot_data[cl.slot].data(),
+                       spectra + i * spectra_elems};
   }
   dsp::FftManyJob range_job;
   range_job.n = config_.num_samples;
@@ -348,7 +352,9 @@ void StreamingHarService::process_round(std::size_t n_claims) {
   range_job.lanes = config_.num_chirps * config_.num_antennas;
   range_job.in_lane_stride = config_.num_samples;
   range_job.in_elem_stride = 1;
-  dsp::fft_many_crop_multi(range_job, hm.range_bins, bs.range_ios,
+  dsp::fft_many_crop_multi(range_job, hm.range_bins,
+                           std::span<const dsp::FftManyIo>(
+                               bs.range_ios.data(), n_claims),
                            hm.range_bins, 1);
   check_finite(std::span<const dsp::cfloat>(spectra, n_claims * spectra_elems),
                "RangeSpectra", "serving/post-fft");
@@ -370,18 +376,19 @@ void StreamingHarService::process_round(std::size_t n_claims) {
 
   // Stage 3: every frame's Angle-FFT → raw DRAI in ONE batched call,
   // written straight into its stream's window ring slot.
-  const std::size_t round_job_start = bs.jobs.size();
-  bs.angle_ios.clear();
+  const std::size_t round_job_start = bs.n_jobs;
+  MMHAR_CHECK(bs.angle_ios.size() >= n_claims &&
+              bs.jobs.size() >= bs.n_jobs + n_claims);
   for (std::size_t i = 0; i < n_claims; ++i) {
     const BatcherState::Claim& cl = bs.claims[i];
     BatcherState::StreamWindow& w = bs.windows[cl.stream_id];
     MMHAR_CHECK(w.drai.size() == wlen && w.next < window_frames_);
-    bs.angle_ios.push_back(
-        {spectra + i * spectra_elems, w.drai.data() + w.next * hw});
+    bs.angle_ios[i] = {spectra + i * spectra_elems,
+                       w.drai.data() + w.next * hw};
     w.next = (w.next + 1) % window_frames_;
     if (w.filled < window_frames_) ++w.filled;
     if (w.filled == window_frames_)
-      bs.jobs.push_back({cl.stream_id, cl.seq, cl.arrival});
+      bs.jobs[bs.n_jobs++] = {cl.stream_id, cl.seq, cl.arrival};
   }
   dsp::FftManyJob angle_job;
   angle_job.n = hm.angle_bins;
@@ -391,16 +398,18 @@ void StreamingHarService::process_round(std::size_t n_claims) {
   angle_job.in_elem_stride = hm.range_bins;
   angle_job.reps = config_.num_chirps;
   angle_job.in_rep_stride = config_.num_antennas * hm.range_bins;
-  dsp::fft_many_mag_accum_multi(angle_job, /*shift=*/true, bs.angle_ios,
+  dsp::fft_many_mag_accum_multi(angle_job, /*shift=*/true,
+                                std::span<const dsp::FftManyMagIo>(
+                                    bs.angle_ios.data(), n_claims),
                                 hm.angle_bins, 1);
 
   // Stage 4: gather the windows completed this round into network-input
   // rows, applying the sequence-level dB conversion and min-max
   // normalization exactly as compute_drai_sequence's tail does (to_db
   // then normalize01 over the whole [T, R, A] block).
-  MMHAR_CHECK(bs.net_input.size() >= bs.jobs.size() * wlen);
+  MMHAR_CHECK(bs.net_input.size() >= bs.n_jobs * wlen);
   float* const net_input = bs.net_input.data();
-  for (std::size_t j = round_job_start; j < bs.jobs.size(); ++j) {
+  for (std::size_t j = round_job_start; j < bs.n_jobs; ++j) {
     const BatcherState::StreamWindow& w = bs.windows[bs.jobs[j].stream_id];
     float* row = net_input + j * wlen;
     for (std::size_t t = 0; t < window_frames_; ++t) {
@@ -432,15 +441,15 @@ std::size_t StreamingHarService::run_cycle() {
   BatcherState& bs = *batch_;
   {
     MutexLock lk(registry_->mu);
-    bs.cycle_streams.clear();
-    for (const std::unique_ptr<Stream>& s : registry_->streams)
-      bs.cycle_streams.push_back(s.get());
+    MMHAR_CHECK(bs.cycle_streams.size() >= registry_->streams.size());
+    bs.n_cycle_streams = registry_->streams.size();
+    for (std::size_t i = 0; i < bs.n_cycle_streams; ++i)
+      bs.cycle_streams[i] = registry_->streams[i].get();
   }
-  bs.jobs.clear();
+  bs.n_jobs = 0;
 
   std::size_t total = 0;
   while (total < config_.batch_max) {
-    bs.claims.clear();
     const std::size_t got = claim_round(config_.batch_max - total);
     if (got == 0) break;
     process_round(got);
@@ -449,16 +458,15 @@ std::size_t StreamingHarService::run_cycle() {
 
   // Cross-stream micro-batched CNN-LSTM forward over every window that
   // completed this cycle, then publish per-stream results.
-  if (!bs.jobs.empty()) {
-    MMHAR_CHECK(bs.logits.size() >= bs.jobs.size() * num_classes_);
+  if (bs.n_jobs > 0) {
+    MMHAR_CHECK(bs.logits.size() >= bs.n_jobs * num_classes_);
     float* const logits = bs.logits.data();
     har::infer_forward(plan_, bs.scratch, bs.net_input.data(),
-                       bs.jobs.size(), logits);
-    check_finite(std::span<const float>(logits,
-                                        bs.jobs.size() * num_classes_),
+                       bs.n_jobs, logits);
+    check_finite(std::span<const float>(logits, bs.n_jobs * num_classes_),
                  "logits", "serving/post-forward");
     const Clock::time_point now = Clock::now();
-    for (std::size_t j = 0; j < bs.jobs.size(); ++j) {
+    for (std::size_t j = 0; j < bs.n_jobs; ++j) {
       const BatcherState::Job& job = bs.jobs[j];
       const float* row = logits + j * num_classes_;
       Classification result;

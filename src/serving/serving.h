@@ -56,6 +56,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/thread_annotations.h"
 #include "dsp/heatmap.h"
 #include "har/infer.h"
 #include "har/model.h"
@@ -133,13 +134,15 @@ class StreamingHarService {
   /// frame was admitted (possibly evicting an older queued frame under
   /// kOldest), false when it was rejected. Thread-safe; one producer per
   /// stream is the intended pattern but not required.
-  bool submit_frame(std::size_t stream, const dsp::RadarCube& cube);
+  bool submit_frame(std::size_t stream,
+                    const dsp::RadarCube& cube) MMHAR_REALTIME_HANDOFF;
 
   /// Pop up to out.size() pending results for `stream` (oldest first).
   /// Returns the number written. Thread-safe.
-  std::size_t poll(std::size_t stream, std::span<Classification> out);
+  std::size_t poll(std::size_t stream,
+                   std::span<Classification> out) MMHAR_REALTIME_HANDOFF;
 
-  StreamStats stream_stats(std::size_t stream) const;
+  StreamStats stream_stats(std::size_t stream) const MMHAR_REALTIME_HANDOFF;
 
   /// Spawn the background batcher thread. start/stop/run_cycle must be
   /// sequenced by the owner (single controlling thread).
@@ -153,17 +156,24 @@ class StreamingHarService {
   /// publish results. Returns the number of frames processed. Only valid
   /// while the background batcher is NOT running — tests and benchmarks
   /// use this for deterministic, single-threaded pumping.
-  std::size_t run_cycle();
+  std::size_t run_cycle() MMHAR_REALTIME_HANDOFF;
 
  private:
   struct Stream;
   struct Sched;
   struct BatcherState;
 
-  Stream* stream_ptr(std::size_t idx) const;
+  // The MMHAR_REALTIME_HANDOFF annotations above and below form the
+  // serving steady-state root set of tools/mmhar_rtcheck (see
+  // tools/rtcheck_roots.txt): everything reachable from them is proved
+  // allocation-, blocking-, throw-free, with bounded lock hand-offs
+  // permitted only in the annotated bodies themselves. batcher_main is
+  // deliberately NOT annotated: its condvar wait is the idle-side sleep,
+  // outside the real-time region that starts once work exists.
+  Stream* stream_ptr(std::size_t idx) const MMHAR_REALTIME_HANDOFF;
   void batcher_main();
-  std::size_t claim_round(std::size_t budget);
-  void process_round(std::size_t n_claims);
+  std::size_t claim_round(std::size_t budget) MMHAR_REALTIME_HANDOFF;
+  void process_round(std::size_t n_claims) MMHAR_REALTIME_HANDOFF;
 
   ServingConfig config_;
   std::size_t window_frames_ = 0;   ///< T, from the model config

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "common/check.h"
+#include "common/thread_annotations.h"
 #include "common/thread_pool.h"
 
 namespace mmhar {
@@ -154,40 +155,69 @@ void gemm_block_rows(Layout la, const float* a, std::size_t lda,
   }
 }
 
-// Shared driver. Per output element the reduction order is fixed by the
-// (kk ascending, p ascending) block order and never by the thread
-// partition, so any MMHAR_THREADS yields bit-identical C. The B panel
-// buffer is thread-local and grow-only, so steady-state calls allocate
-// nothing (the streaming batcher's zero-alloc contract depends on this);
-// worker threads only ever read the caller's buffer.
-void gemm_driver(std::size_t m, std::size_t k, std::size_t n, float alpha,
-                 Layout la, const float* a, std::size_t lda,
-                 const float* apacked, Layout lb, const float* b,
-                 std::size_t ldb, float* c, bool allow_threads = true) {
-  const std::size_t row_tiles = (m + kMR - 1) / kMR;
-  const bool threaded =
-      allow_threads && m * n * k >= kParallelThreshold && row_tiles > 1;
+// Grow-only thread-local B panel buffer, sized for one (kBlockK, kBlockN)
+// cache block. Steady-state calls at a previously seen (or smaller) shape
+// return the existing buffer without touching the allocator, which is what
+// the streaming batcher's zero-alloc contract depends on.
+float* ensure_b_panel_buffer(std::size_t k, std::size_t n) {
   thread_local std::vector<float> bbuf;
   const std::size_t need = std::min(k, kBlockK) *
                            round_up(std::min(n, kBlockN), kNR);
-  if (bbuf.size() < need) bbuf.resize(need);
-  // Resolve the buffer on the calling thread: the lambda below may run on
-  // pool workers, whose own thread_local bbuf is a different (empty) one.
-  float* const bp = bbuf.data();
+  if (bbuf.size() < need) {
+    // mmhar-rtcheck: allow(alloc) — grow-once thread-local workspace; a
+    // steady-state call at a warmed shape takes the branch, never the grow.
+    bbuf.resize(need);
+  }
+  return bbuf.data();
+}
+
+// Serial driver core: every block runs on the calling thread, so this path
+// never references the thread pool — the real-time checker relies on that
+// separation, not on a runtime flag. Per output element the reduction
+// order is fixed by the (kk ascending, p ascending) block order, so the
+// threaded driver below (which partitions only row tiles) is bit-identical.
+void gemm_driver_serial(std::size_t m, std::size_t k, std::size_t n,
+                        float alpha, Layout la, const float* a,
+                        std::size_t lda, const float* apacked, Layout lb,
+                        const float* b, std::size_t ldb,
+                        float* c) MMHAR_REALTIME {
+  const std::size_t row_tiles = (m + kMR - 1) / kMR;
+  float* const bp = ensure_b_panel_buffer(k, n);
   for (std::size_t kk = 0; kk < k; kk += kBlockK) {
     const std::size_t kend = std::min(k, kk + kBlockK);
     for (std::size_t nn = 0; nn < n; nn += kBlockN) {
       const std::size_t nend = std::min(n, nn + kBlockN);
       pack_b_panels(lb, b, ldb, kk, kend, nn, nend, bp);
-      const auto rows = [&, bp](std::size_t lo, std::size_t hi) {
-        gemm_block_rows(la, a, lda, apacked, m, k, kk, kend, nn, nend,
-                        bp, alpha, c, n, lo, hi);
-      };
-      if (threaded) {
-        global_pool().parallel_for_chunked(0, row_tiles, rows);
-      } else {
-        rows(0, row_tiles);
-      }
+      gemm_block_rows(la, a, lda, apacked, m, k, kk, kend, nn, nend, bp,
+                      alpha, c, n, 0, row_tiles);
+    }
+  }
+}
+
+// Threaded driver. Small products fall through to the serial core; large
+// ones split row tiles across the global pool. The B panel buffer is
+// resolved on the calling thread — the lambda below may run on pool
+// workers, whose own thread_local buffer is a different (empty) one.
+void gemm_driver(std::size_t m, std::size_t k, std::size_t n, float alpha,
+                 Layout la, const float* a, std::size_t lda,
+                 const float* apacked, Layout lb, const float* b,
+                 std::size_t ldb, float* c) {
+  const std::size_t row_tiles = (m + kMR - 1) / kMR;
+  if (m * n * k < kParallelThreshold || row_tiles <= 1) {
+    gemm_driver_serial(m, k, n, alpha, la, a, lda, apacked, lb, b, ldb, c);
+    return;
+  }
+  float* const bp = ensure_b_panel_buffer(k, n);
+  for (std::size_t kk = 0; kk < k; kk += kBlockK) {
+    const std::size_t kend = std::min(k, kk + kBlockK);
+    for (std::size_t nn = 0; nn < n; nn += kBlockN) {
+      const std::size_t nend = std::min(n, nn + kBlockN);
+      pack_b_panels(lb, b, ldb, kk, kend, nn, nend, bp);
+      global_pool().parallel_for_chunked(
+          0, row_tiles, [&, bp](std::size_t lo, std::size_t hi) {
+            gemm_block_rows(la, a, lda, apacked, m, k, kk, kend, nn, nend,
+                            bp, alpha, c, n, lo, hi);
+          });
     }
   }
 }
@@ -276,9 +306,8 @@ void sgemm_packed_a_serial(const PackedA& a, std::size_t n, float alpha,
                            const float* b, float beta, float* c) {
   scale_rows(a.m, n, beta, c);
   if (a.m == 0 || n == 0 || a.k == 0 || alpha == 0.0F) return;
-  gemm_driver(a.m, a.k, n, alpha, Layout::kRowMajor, nullptr, a.k,
-              a.data.data(), Layout::kRowMajor, b, n, c,
-              /*allow_threads=*/false);
+  gemm_driver_serial(a.m, a.k, n, alpha, Layout::kRowMajor, nullptr, a.k,
+                     a.data.data(), Layout::kRowMajor, b, n, c);
 }
 
 namespace {

@@ -13,6 +13,8 @@
 #include <cstddef>
 #include <vector>
 
+#include "common/thread_annotations.h"
+
 namespace mmhar {
 
 /// C[m x n] = alpha * A[m x k] * B[k x n] + beta * C. Row-major, no aliasing.
@@ -59,7 +61,8 @@ void sgemm_packed_a(const PackedA& a, std::size_t n, float alpha,
 /// per-element reduction order is fixed by the k-blocking, never by the
 /// thread partition. The streaming batcher's conv stage uses this form.
 void sgemm_packed_a_serial(const PackedA& a, std::size_t n, float alpha,
-                           const float* b, float beta, float* c);
+                           const float* b, float beta,
+                           float* c) MMHAR_REALTIME;
 
 /// A right-hand operand pre-packed into the microkernel's panel layout
 /// (kNR-wide column panels, k-major within a panel, tail columns
@@ -89,6 +92,6 @@ PackedB pack_bt(std::size_t k, std::size_t n, const float* b);
 /// single-row fast path here, so micro-batched and per-sample forwards
 /// agree to the bit.
 void sgemm_packed_b(std::size_t m, float alpha, const float* a,
-                    const PackedB& b, float beta, float* c);
+                    const PackedB& b, float beta, float* c) MMHAR_REALTIME;
 
 }  // namespace mmhar

@@ -1,0 +1,168 @@
+// Direct unit tests for tools/analysis_text.h — the text-processing layer
+// every static-analysis binary (mmhar_lint, mmhar_analyze, mmhar_rtcheck)
+// is built on. The subprocess fixture tests exercise these helpers
+// end-to-end; here each helper's contract is pinned down in isolation so
+// a regression is reported at the helper, not as a mystery diff in some
+// tool's findings.
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "analysis_text.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+using mmhar_tools::blank_template_args;
+using mmhar_tools::code_keeping_strings;
+using mmhar_tools::code_only;
+using mmhar_tools::collect_sources;
+using mmhar_tools::display_path;
+using mmhar_tools::is_suppressed;
+using mmhar_tools::read_lines;
+using mmhar_tools::suppression_allows;
+using mmhar_tools::trim;
+
+TEST(CodeOnly, StripsLineCommentsAndBlanksStringContents) {
+  bool in_block = false;
+  const std::string out =
+      code_only("x = \"new int\"; // naked new here", in_block);
+  EXPECT_EQ(out.find("new"), std::string::npos) << out;
+  EXPECT_EQ(out.find("naked"), std::string::npos) << out;
+  // Positions survive: the statement's structure is intact.
+  EXPECT_NE(out.find("x ="), std::string::npos) << out;
+  EXPECT_NE(out.find(';'), std::string::npos) << out;
+  EXPECT_FALSE(in_block);
+}
+
+TEST(CodeOnly, BlockCommentStateCarriesAcrossLines) {
+  bool in_block = false;
+  EXPECT_EQ(trim(code_only("a(); /* begin", in_block)), "a();");
+  EXPECT_TRUE(in_block);
+  EXPECT_EQ(trim(code_only("still a comment: new int[4];", in_block)), "");
+  EXPECT_TRUE(in_block);
+  EXPECT_EQ(trim(code_only("end */ b();", in_block)), "b();");
+  EXPECT_FALSE(in_block);
+}
+
+TEST(CodeOnly, CharLiteralContentIsBlanked) {
+  bool in_block = false;
+  const std::string out = code_only("if (c == '{') depth++;", in_block);
+  EXPECT_EQ(out.find('{'), std::string::npos) << out;
+  EXPECT_NE(out.find("depth++"), std::string::npos) << out;
+}
+
+TEST(CodeKeepingStrings, LiteralsSurviveButCommentsDie) {
+  bool in_block = false;
+  const std::string out = code_keeping_strings(
+      "env_int(\"MMHAR_KNOB\", 3); // getenv(\"MMHAR_FAKE\")", in_block);
+  EXPECT_NE(out.find("\"MMHAR_KNOB\""), std::string::npos) << out;
+  EXPECT_EQ(out.find("MMHAR_FAKE"), std::string::npos) << out;
+}
+
+TEST(Trim, BothEndsAndAllWhitespaceCases) {
+  EXPECT_EQ(trim("  a b \t"), "a b");
+  EXPECT_EQ(trim("\t\n  "), "");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(BlankTemplateArgs, NestedArgumentsAreBlanked) {
+  const std::string out =
+      blank_template_args("std::vector<std::pair<int, int>> v;");
+  EXPECT_EQ(out.find("pair"), std::string::npos) << out;
+  EXPECT_NE(out.find("std::vector<"), std::string::npos) << out;
+  EXPECT_NE(out.find("> v;"), std::string::npos) << out;
+  EXPECT_EQ(out.size(), std::string("std::vector<std::pair<int, int>> v;")
+                            .size());
+}
+
+TEST(BlankTemplateArgs, ArrowOperatorDoesNotCloseAList) {
+  // `->` must not be treated as a template close, and a '<' not preceded
+  // by an identifier never opens one.
+  const std::string in = "p->next < q->prev;";
+  EXPECT_EQ(blank_template_args(in), in);
+}
+
+TEST(IsSuppressed, SameLineAndLineAboveOnly) {
+  const std::vector<std::string> lines = {
+      "// mmhar-lint: allow(loop-alloc) grow-once",  // 0
+      "std::vector<int> v;",                         // 1
+      "std::vector<int> w;",                         // 2
+      "int z; // mmhar-lint: allow(banned-rng)",     // 3
+  };
+  EXPECT_TRUE(is_suppressed(lines, 1, "mmhar-lint", "loop-alloc"));
+  EXPECT_FALSE(is_suppressed(lines, 2, "mmhar-lint", "loop-alloc"));
+  EXPECT_TRUE(is_suppressed(lines, 3, "mmhar-lint", "banned-rng"));
+  EXPECT_FALSE(is_suppressed(lines, 1, "mmhar-lint", "naked-alloc"));
+  EXPECT_FALSE(is_suppressed(lines, 1, "mmhar-rtcheck", "loop-alloc"));
+}
+
+TEST(SuppressionAllows, CommaListMatchesEachRuleExactly) {
+  const std::vector<std::string> lines = {
+      "// mmhar-rtcheck: allow(alloc, lock) — justified",  // 0
+      "new int[4];",                                        // 1
+  };
+  EXPECT_TRUE(suppression_allows(lines, 1, "mmhar-rtcheck", "alloc"));
+  EXPECT_TRUE(suppression_allows(lines, 1, "mmhar-rtcheck", "lock"));
+  EXPECT_FALSE(suppression_allows(lines, 1, "mmhar-rtcheck", "block"));
+  // Substrings must not match: "loc" is not "lock" or "alloc".
+  EXPECT_FALSE(suppression_allows(lines, 1, "mmhar-rtcheck", "loc"));
+}
+
+TEST(SuppressionAllows, ScansUpThroughARunOfCommentLines) {
+  const std::vector<std::string> lines = {
+      "// mmhar-rtcheck: allow(throw) — one justification",  // 0
+      "// covers this whole multi-line statement:",           // 1
+      "throw Error(\"part one\"",                             // 2
+      "            \"part two\");",                           // 3
+  };
+  EXPECT_TRUE(suppression_allows(lines, 2, "mmhar-rtcheck", "throw"));
+  // Line 3 scans up: line 2 is code, not a comment — the run is broken
+  // and the marker at line 0 is out of reach.
+  EXPECT_FALSE(suppression_allows(lines, 3, "mmhar-rtcheck", "throw"));
+}
+
+TEST(SuppressionAllows, NonCommentLineBreaksTheUpwardScan) {
+  const std::vector<std::string> lines = {
+      "// mmhar-rtcheck: allow(alloc)",  // 0
+      "int unrelated = 0;",              // 1
+      "new int[4];",                     // 2
+  };
+  EXPECT_FALSE(suppression_allows(lines, 2, "mmhar-rtcheck", "alloc"));
+}
+
+TEST(ReadLines, MissingFileReturnsFalse) {
+  std::vector<std::string> lines = {"sentinel"};
+  EXPECT_FALSE(read_lines("/nonexistent/definitely_missing.cpp", lines));
+  EXPECT_TRUE(lines.empty());  // cleared even on failure
+}
+
+TEST(CollectSources, SortedAndFilteredByExtension) {
+  const fs::path root = fs::temp_directory_path() / "mmhar_analysis_text_test";
+  fs::remove_all(root);
+  fs::create_directories(root / "sub");
+  for (const char* name : {"b.cpp", "a.h", "sub/c.cc", "notes.txt", "x.hpp"})
+    std::ofstream(root / name) << "// stub\n";
+
+  const auto files = collect_sources(root);
+  ASSERT_EQ(files.size(), 4u);
+  // Sorted on generic_string: deterministic regardless of readdir order.
+  EXPECT_EQ(files[0].filename(), "a.h");
+  EXPECT_EQ(files[1].filename(), "b.cpp");
+  EXPECT_EQ(files[2].filename(), "c.cc");
+  EXPECT_EQ(files[3].filename(), "x.hpp");
+  fs::remove_all(root);
+}
+
+TEST(DisplayPath, PrefixedWithRootBasename) {
+  EXPECT_EQ(display_path("src", "src/nn/conv.cpp"), "src/nn/conv.cpp");
+  EXPECT_EQ(display_path("/abs/path/bench", "/abs/path/bench/b.cpp"),
+            "bench/b.cpp");
+}
+
+}  // namespace

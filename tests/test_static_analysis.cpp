@@ -108,11 +108,27 @@ TEST(LintFixtures, AllowCommentSilencesTheRule) {
   EXPECT_EQ(r.output.find("suppressed.cpp"), std::string::npos) << r.output;
 }
 
-TEST(LintFixtures, BaselineWaivesExactCounts) {
-  const fs::path base = scratch_dir() / "base_all.txt";
+TEST(LintFixtures, NonEmptyBaselineIsAnErrorByDefault) {
+  // The baseline ratchet reached zero: any row in the file is itself a
+  // lint failure unless the local-archaeology flag --allow-baseline is
+  // passed — which the ctest/CI invocations deliberately never do.
+  const fs::path base = scratch_dir() / "base_retired.txt";
   write_file(base, kLintFixtureBaseline);
   const RunResult r =
       run(kLint + " " + q(kLintFixture) + " --baseline " + q(base));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  EXPECT_NE(r.output.find("the baseline is retired and must stay empty"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("banned-rng src/bad.cpp 1"), std::string::npos)
+      << r.output;
+}
+
+TEST(LintFixtures, BaselineWaivesExactCounts) {
+  const fs::path base = scratch_dir() / "base_all.txt";
+  write_file(base, kLintFixtureBaseline);
+  const RunResult r = run(kLint + " " + q(kLintFixture) + " --baseline " +
+                          q(base) + " --allow-baseline");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find("scanned 3 file(s), 7 violation(s) (7 baselined)"),
             std::string::npos)
@@ -130,8 +146,8 @@ TEST(LintFixtures, CountAboveBaselineFails) {
   rows.erase(pos, drop.size());
   const fs::path base = scratch_dir() / "base_missing_rng.txt";
   write_file(base, rows);
-  const RunResult r =
-      run(kLint + " " + q(kLintFixture) + " --baseline " + q(base));
+  const RunResult r = run(kLint + " " + q(kLintFixture) + " --baseline " +
+                          q(base) + " --allow-baseline");
   EXPECT_EQ(r.exit_code, 1) << r.output;
   EXPECT_NE(
       r.output.find("rule 'banned-rng': 1 violation(s), baseline allows 0"),
@@ -150,8 +166,8 @@ TEST(LintFixtures, ShrunkCountPrintsTightenNote) {
   rows.replace(pos, tight.size(), "banned-rng src/bad.cpp 5\n");
   const fs::path base = scratch_dir() / "base_loose.txt";
   write_file(base, rows);
-  const RunResult r =
-      run(kLint + " " + q(kLintFixture) + " --baseline " + q(base));
+  const RunResult r = run(kLint + " " + q(kLintFixture) + " --baseline " +
+                          q(base) + " --allow-baseline");
   EXPECT_EQ(r.exit_code, 0) << r.output;
   EXPECT_NE(r.output.find(
                 "'banned-rng' improved to 1 (baseline 5) — tighten the baseline"),
@@ -175,10 +191,34 @@ TEST(LintFixtures, UpdateBaselineWritesCurrentCounts) {
   while (std::getline(rows, row))
     EXPECT_NE(written.find(row), std::string::npos)
         << "missing baseline row: " << row << "\n" << written;
-  // The file it wrote must immediately green-light a re-run.
-  const RunResult r =
-      run(kLint + " " + q(kLintFixture) + " --baseline " + q(base));
+  // The file it wrote must immediately green-light a re-run (with the
+  // archaeology flag — without it the non-empty file is itself an error).
+  const RunResult r = run(kLint + " " + q(kLintFixture) + " --baseline " +
+                          q(base) + " --allow-baseline");
   EXPECT_EQ(r.exit_code, 0) << r.output;
+}
+
+TEST(LintRealTree, CheckedInBaselineIsEmptyAndEnforced) {
+  // The exact invocation ctest/CI runs: real tree, checked-in baseline,
+  // NO --allow-baseline. This passing proves both that the tree is clean
+  // and that the baseline file carries zero active rows.
+  const RunResult r = run(kLint + " " + q(kRoot / "src") + " " +
+                          q(kRoot / "bench") + " " + q(kRoot / "tools") +
+                          " --baseline " +
+                          q(kRoot / "tools" / "lint_baseline.txt"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("0 violation(s) (0 baselined)"), std::string::npos)
+      << r.output;
+  // Belt and braces: the file itself must contain only comments.
+  const std::string baseline =
+      read_file(kRoot / "tools" / "lint_baseline.txt");
+  std::istringstream rows(baseline);
+  std::string row;
+  while (std::getline(rows, row)) {
+    const auto first = row.find_first_not_of(" \t");
+    if (first == std::string::npos) continue;
+    EXPECT_EQ(row[first], '#') << "active baseline row: " << row;
+  }
 }
 
 TEST(AnalyzeFixtures, FindsEverySeededViolationAtExactLines) {

@@ -1,11 +1,13 @@
 // Text utilities shared by the repo's static-analysis tools
-// (mmhar_lint.cpp, mmhar_analyze.cpp).
+// (mmhar_lint.cpp, mmhar_analyze.cpp, mmhar_rtcheck.cpp).
 //
 // Header-only and dependency-free on purpose: the tools must build and
 // run standalone (a single g++/clang++ invocation, see the CI lint job)
 // even when src/ itself does not compile.
 #pragma once
 
+#include <algorithm>
+#include <cctype>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -122,6 +124,40 @@ inline std::string code_keeping_strings(const std::string& line,
   return out;
 }
 
+// Trim ASCII whitespace from both ends.
+inline std::string trim(const std::string& s) {
+  std::size_t a = 0;
+  std::size_t b = s.size();
+  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
+  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
+  return s.substr(a, b - a);
+}
+
+// Blank the interior of balanced template-argument lists so later paren /
+// name scans don't trip over std::function<void()> and friends. A '<' only
+// opens a list when it directly follows an identifier character or '>'.
+inline std::string blank_template_args(const std::string& s) {
+  std::string out = s;
+  std::vector<std::size_t> opens;
+  char prev = '\0';
+  for (std::size_t i = 0; i < out.size(); ++i) {
+    const char c = out[i];
+    if (c == '<' &&
+        (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_' ||
+         prev == '>')) {
+      opens.push_back(i);
+    } else if (c == '>' && !opens.empty() && prev != '-') {
+      const std::size_t open = opens.back();
+      opens.pop_back();
+      if (opens.empty()) {
+        for (std::size_t j = open + 1; j < i; ++j) out[j] = ' ';
+      }
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) prev = c;
+  }
+  return out;
+}
+
 // A violation on `idx` (0-based) is suppressed when the offending line or
 // the line above carries `<marker>: allow(<rule>)` — e.g.
 // `// mmhar-lint: allow(loop-alloc) justification...`.
@@ -131,6 +167,48 @@ inline bool is_suppressed(const std::vector<std::string>& raw_lines,
   const std::string needle = marker + ": allow(" + rule + ")";
   if (raw_lines[idx].find(needle) != std::string::npos) return true;
   return idx > 0 && raw_lines[idx - 1].find(needle) != std::string::npos;
+}
+
+// Extended suppression matcher (mmhar_rtcheck): the marker's allow() may
+// carry a comma-separated rule list — `// mmhar-rtcheck: allow(throw,
+// alloc) — why` — and the marker line may sit at the top of a run of
+// consecutive //-comment lines directly above the offending line, so one
+// justified comment covers a multi-line statement.
+inline bool suppression_allows(const std::vector<std::string>& raw_lines,
+                               std::size_t idx, const std::string& marker,
+                               const std::string& rule) {
+  const std::string needle = marker + ": allow(";
+  const auto line_allows = [&](const std::string& line) {
+    const std::size_t at = line.find(needle);
+    if (at == std::string::npos) return false;
+    const std::size_t open = at + needle.size();
+    const std::size_t close = line.find(')', open);
+    if (close == std::string::npos) return false;
+    std::size_t start = open;
+    while (start < close) {
+      std::size_t comma = line.find(',', start);
+      if (comma == std::string::npos || comma > close) comma = close;
+      std::size_t a = start;
+      std::size_t b = comma;
+      while (a < b && std::isspace(static_cast<unsigned char>(line[a]))) ++a;
+      while (b > a && std::isspace(static_cast<unsigned char>(line[b - 1])))
+        --b;
+      if (b - a == rule.size() && line.compare(a, b - a, rule) == 0)
+        return true;
+      start = comma + 1;
+    }
+    return false;
+  };
+  if (idx >= raw_lines.size()) return false;
+  if (line_allows(raw_lines[idx])) return true;
+  for (std::size_t k = idx; k > 0;) {
+    --k;
+    const std::string& t = raw_lines[k];
+    const std::size_t a = t.find_first_not_of(" \t");
+    if (a == std::string::npos || t.compare(a, 2, "//") != 0) break;
+    if (line_allows(t)) return true;
+  }
+  return false;
 }
 
 // Read a file into lines; false when unreadable.
@@ -155,7 +233,13 @@ inline std::vector<std::filesystem::path> collect_sources(
     if (ext == ".h" || ext == ".cpp" || ext == ".hpp" || ext == ".cc")
       files.push_back(entry.path());
   }
-  std::sort(files.begin(), files.end());
+  // Directory iteration order is unspecified; sort on the portable string
+  // form so reports (and baselines keyed on them) are byte-identical
+  // across platforms and filesystems.
+  std::sort(files.begin(), files.end(),
+            [](const std::filesystem::path& a, const std::filesystem::path& b) {
+              return a.generic_string() < b.generic_string();
+            });
   return files;
 }
 

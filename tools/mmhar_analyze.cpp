@@ -155,38 +155,10 @@ std::string strip_annotation_macros(const std::string& stmt, bool* guarded) {
   return out;
 }
 
-// Blank the interior of balanced template-argument lists so later paren /
-// name scans don't trip over std::function<void()> and friends. A '<' only
-// opens a list when it directly follows an identifier character or '>'.
-std::string blank_template_args(const std::string& s) {
-  std::string out = s;
-  std::vector<std::size_t> opens;
-  char prev = '\0';
-  for (std::size_t i = 0; i < out.size(); ++i) {
-    const char c = out[i];
-    if (c == '<' &&
-        (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_' ||
-         prev == '>')) {
-      opens.push_back(i);
-    } else if (c == '>' && !opens.empty() && prev != '-') {
-      const std::size_t open = opens.back();
-      opens.pop_back();
-      if (opens.empty()) {
-        for (std::size_t j = open + 1; j < i; ++j) out[j] = ' ';
-      }
-    }
-    if (!std::isspace(static_cast<unsigned char>(c))) prev = c;
-  }
-  return out;
-}
-
-std::string trim(const std::string& s) {
-  std::size_t a = 0;
-  std::size_t b = s.size();
-  while (a < b && std::isspace(static_cast<unsigned char>(s[a]))) ++a;
-  while (b > a && std::isspace(static_cast<unsigned char>(s[b - 1]))) --b;
-  return s.substr(a, b - a);
-}
+// blank_template_args / trim live in analysis_text.h (shared with
+// mmhar_rtcheck, unit-tested directly in tests/test_analysis_text.cpp).
+using mmhar_tools::blank_template_args;
+using mmhar_tools::trim;
 
 // Classification of a record-scope statement for lock-annotation-coverage.
 enum class MemberKind { kNotAMember, kSyncPrimitive, kExemptStorage, kData };
@@ -291,7 +263,7 @@ class FileScanner {
   }
 
   void index_annotation_use() {
-    static const std::regex use_re(R"(\bMMHAR_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|ACQUIRE_SHARED|RELEASE|TRY_ACQUIRE|EXCLUDES|CAPABILITY|SCOPED_CAPABILITY|ASSERT_CAPABILITY|RETURN_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS)\b)");
+    static const std::regex use_re(R"(\bMMHAR_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|ACQUIRE_SHARED|RELEASE|TRY_ACQUIRE|EXCLUDES|CAPABILITY|SCOPED_CAPABILITY|ASSERT_CAPABILITY|RETURN_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS|REALTIME|REALTIME_HANDOFF)\b)");
     for (std::size_t i = 0; i < out_.code.size(); ++i) {
       if (out_.first_annotation_line == 0 &&
           std::regex_search(out_.code[i], use_re))
@@ -810,6 +782,11 @@ int main(int argc, char** argv) {
               << v.message << "\n";
   std::cout << "mmhar_analyze: scanned " << file_count << " file(s), "
             << violations.size() << " violation(s)\n";
+  // Machine-readable one-liner (same shape as mmhar_lint / mmhar_rtcheck /
+  // bench_gate summaries) so CI log scrapers need no per-tool parsing.
+  std::cout << "mmhar_analyze: summary files=" << file_count
+            << " violations=" << violations.size()
+            << " status=" << (violations.empty() ? "ok" : "fail") << "\n";
   if (!violations.empty()) {
     std::cerr << "mmhar_analyze: FAIL — fix the violations above or add a "
                  "justified `// mmhar-analyze: allow(<rule>)`\n";

@@ -367,6 +367,7 @@ int main(int argc, char** argv) {
   std::vector<fs::path> roots;
   fs::path baseline_path;
   bool update_baseline = false;
+  bool allow_baseline = false;
   std::string arg;  // hoisted per-flag scratch
   for (int i = 1; i < argc; ++i) {
     arg = argv[i];
@@ -374,6 +375,8 @@ int main(int argc, char** argv) {
       baseline_path = argv[++i];
     } else if (arg == "--update-baseline") {
       update_baseline = true;
+    } else if (arg == "--allow-baseline") {
+      allow_baseline = true;
     } else if (!arg.empty() && arg[0] == '-') {
       std::cerr << "unknown argument: " << arg << "\n";
       return 2;
@@ -383,7 +386,7 @@ int main(int argc, char** argv) {
   }
   if (roots.empty()) {
     std::cerr << "usage: mmhar_lint <root>... [--baseline <file>] "
-                 "[--update-baseline]\n";
+                 "[--update-baseline] [--allow-baseline]\n";
     return 2;
   }
 
@@ -424,6 +427,21 @@ int main(int argc, char** argv) {
   }
 
   const auto baseline = load_baseline(baseline_path);
+  // The debt ratchet reached zero: a non-empty baseline is itself a lint
+  // error now, so new debt cannot be hidden by regenerating the file. The
+  // escape hatch (--allow-baseline, for local archaeology on old branches)
+  // is deliberately NOT passed by CI or ctest.
+  if (!baseline.empty() && !allow_baseline) {
+    std::cerr << "mmhar_lint: FAIL — baseline " << baseline_path << " has "
+              << baseline.size() << " (rule, file) row(s); the baseline is "
+              << "retired and must stay empty. Fix the violations or add a "
+              << "justified `// mmhar-lint: allow(<rule>)` instead of "
+              << "re-baselining. (--allow-baseline overrides locally.)\n";
+    for (const auto& [key, count] : baseline)
+      std::cerr << "  " << key.first << ' ' << key.second << ' ' << count
+                << "\n";
+    return 1;
+  }
   bool failed = false;
   std::size_t waived = 0;
   for (const auto& [key, count] : counts) {
