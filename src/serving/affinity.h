@@ -1,0 +1,38 @@
+// Stable stream → shard affinity for the sharded serving layer.
+//
+// A stream is pinned to exactly one batcher shard for its whole lifetime,
+// so all of its per-stream state (frame ring, sliding DRAI window, result
+// ring) has a single consuming thread and no cross-shard synchronization.
+// The assignment is a pure function of the stream key and the shard
+// count — no load-balancer state, no runtime migration — which is what
+// makes per-stream results bit-identical for ANY shard count: a stream's
+// pipeline never observes which other streams share its shard.
+//
+// The mixer is the splitmix64 finalizer (Steele et al., "Fast splittable
+// pseudorandom number generators"): a fixed avalanche permutation of the
+// key, so nearby stream ids do not land on the same shard run and the
+// assignment is identical across platforms, processes, and runs.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmhar::serving {
+
+/// Avalanche-mix a 64-bit stream key (splitmix64 finalizer).
+constexpr std::uint64_t mix_affinity_key(std::uint64_t key) {
+  key += 0x9E3779B97F4A7C15ULL;
+  key = (key ^ (key >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  key = (key ^ (key >> 27)) * 0x94D049BB133111EBULL;
+  return key ^ (key >> 31);
+}
+
+/// Shard owning `key` among `num_shards` shards. Stable: depends only on
+/// the arguments. num_shards must be positive.
+constexpr std::size_t shard_for_key(std::uint64_t key,
+                                    std::size_t num_shards) {
+  return static_cast<std::size_t>(mix_affinity_key(key) %
+                                  static_cast<std::uint64_t>(num_shards));
+}
+
+}  // namespace mmhar::serving

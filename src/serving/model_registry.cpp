@@ -1,0 +1,39 @@
+#include "serving/model_registry.h"
+
+#include "common/check.h"
+
+namespace mmhar::serving {
+
+namespace {
+
+bool same_architecture(const har::HarModelConfig& a,
+                       const har::HarModelConfig& b) {
+  // Everything but the weight-initialization seed: weights may differ
+  // (that is the point of A/B-ing clean vs backdoored), geometry may not.
+  return a.frames == b.frames && a.height == b.height && a.width == b.width &&
+         a.conv1_channels == b.conv1_channels &&
+         a.conv2_channels == b.conv2_channels &&
+         a.feature_dim == b.feature_dim && a.lstm_hidden == b.lstm_hidden &&
+         a.num_classes == b.num_classes;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(har::HarModel& base) {
+  plans_.push_back(har::build_inference_plan(base));
+}
+
+std::size_t ModelRegistry::add(har::HarModel& model) {
+  MMHAR_REQUIRE(same_architecture(model.config(), arch()),
+                "ModelRegistry::add: model architecture differs from model 0 "
+                "(all HarModelConfig fields except seed must match)");
+  plans_.push_back(har::build_inference_plan(model));
+  return plans_.size() - 1;
+}
+
+const har::InferencePlan& ModelRegistry::plan(std::size_t id) const {
+  MMHAR_CHECK(id < plans_.size());
+  return plans_[id];
+}
+
+}  // namespace mmhar::serving

@@ -1,0 +1,55 @@
+// Multi-model registry for the sharded serving layer.
+//
+// Serving the paper's deployment experiment means running several
+// HarModel *versions* side by side — the canonical pair being a clean
+// model and a backdoored one, A/B'd over the same radar streams. The
+// registry snapshots each registered model into its own prepacked-GEMM
+// `InferencePlan` (weights frozen at registration; later training of the
+// source model does not leak into serving) and hands shards index-stable
+// access to the plans.
+//
+// Concurrency contract: add() is setup-phase only — all models must be
+// registered before serving traffic starts (StreamingHarService enforces
+// this: add_model refuses once the shard workers are running, and streams
+// can only reference already-registered ids). After setup the registry is
+// immutable, so shards read plan() without any synchronization.
+//
+// Every registered model must share model 0's architecture (all
+// HarModelConfig fields except the weight-initialization seed): the DSP
+// front-end, sliding-window arenas, and inference scratch are shared
+// across models per shard, which is only sound when the geometry is
+// identical. Clean-vs-backdoored pairs satisfy this by construction —
+// poisoning changes weights, not architecture.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "har/infer.h"
+#include "har/model.h"
+
+namespace mmhar::serving {
+
+class ModelRegistry {
+ public:
+  /// Registers `base` as model id 0; its architecture becomes the
+  /// registry's fingerprint.
+  explicit ModelRegistry(har::HarModel& base);
+
+  /// Snapshot another model version; returns its id. Throws when the
+  /// architecture differs from model 0's (seed excepted).
+  std::size_t add(har::HarModel& model);
+
+  /// Hot-path plan lookup: bounds-checked index, no locks, no copies.
+  const har::InferencePlan& plan(std::size_t id) const;
+
+  std::size_t size() const { return plans_.size(); }
+
+  /// Shared architecture (model 0's config).
+  const har::HarModelConfig& arch() const { return plans_.front().config; }
+
+ private:
+  std::vector<har::InferencePlan> plans_;
+};
+
+}  // namespace mmhar::serving

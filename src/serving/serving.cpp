@@ -1,6 +1,7 @@
 #include "serving/serving.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 
 #include "common/check.h"
@@ -9,6 +10,7 @@
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
 #include "dsp/window.h"
+#include "serving/affinity.h"
 
 namespace mmhar::serving {
 
@@ -16,15 +18,18 @@ using Clock = std::chrono::steady_clock;
 
 // ---- Internal state records ------------------------------------------------
 
-// One radar stream: a bounded frame ring feeding the batcher and a
+// One radar stream: a bounded frame ring feeding its affinity shard and a
 // bounded result ring feeding poll(). Slot payloads move through a
 // free-list / queued-FIFO hand-off: a slot index lives in exactly one of
-// {free list, queued ring, a producer's hands, the batcher's claim list}
+// {free list, queued ring, a producer's hands, the shard's claim list}
 // at any time, so payload buffers are single-writer/single-reader without
 // holding the lock across the (large) frame copy.
 struct StreamingHarService::Stream {
-  Stream(std::size_t depth, std::size_t frame_elems, std::size_t rdepth)
-      : free_list(depth),
+  Stream(std::size_t depth, std::size_t frame_elems, std::size_t rdepth,
+         std::size_t shard_idx, std::size_t model_idx)
+      : shard(shard_idx),
+        model(model_idx),
+        free_list(depth),
         queued(depth),
         slot_seq(depth, 0),
         slot_arrival(depth),
@@ -33,6 +38,9 @@ struct StreamingHarService::Stream {
     for (std::size_t i = 0; i < depth; ++i) free_list[i] = i;
     free_count = depth;
   }
+
+  const std::size_t shard;  ///< affinity shard (immutable)
+  const std::size_t model;  ///< ModelRegistry id (immutable)
 
   mutable Mutex mu;
   std::vector<std::size_t> free_list MMHAR_GUARDED_BY(mu);  ///< slot stack
@@ -47,6 +55,8 @@ struct StreamingHarService::Stream {
   std::uint64_t accepted MMHAR_GUARDED_BY(mu) = 0;
   std::uint64_t dropped MMHAR_GUARDED_BY(mu) = 0;
   std::uint64_t rejected MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t deadline_dropped MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t deepest_queue MMHAR_GUARDED_BY(mu) = 0;
   // Payload buffers: published by the mutex acquire/release around the
   // slot-index hand-offs above, never accessed under the lock itself.
   // mmhar-analyze: allow(lock-annotation-coverage)
@@ -60,11 +70,11 @@ struct StreamingHarService::Stream {
   std::uint64_t dropped_results MMHAR_GUARDED_BY(results_mu) = 0;
 };
 
-// Batcher wake-up state: `pending` counts frames sitting in stream queues
-// (eventually consistent — producers increment after enqueueing, the
-// batcher decrements by the number it claimed, so it may transiently dip
-// negative or lag reality by an in-flight submit).
-struct StreamingHarService::Sched {
+// Per-shard wake-up state: `pending` counts frames sitting in the shard's
+// stream queues (eventually consistent — producers increment after
+// enqueueing, the shard decrements by the number it consumed, so it may
+// transiently dip negative or lag reality by an in-flight submit).
+struct Sched {
   Mutex mu;
   CondVar cv;
   std::int64_t pending MMHAR_GUARDED_BY(mu) = 0;
@@ -76,46 +86,68 @@ struct StreamingHarService::Registry {
   std::vector<std::unique_ptr<Stream>> streams MMHAR_GUARDED_BY(mu);
 };
 
-// Everything below is touched only by whichever single thread runs
-// run_cycle (the batcher thread, or the owner when pumping manually), so
-// it needs no locking. All buffers are sized once in the constructor; the
-// cycle refills them through explicit fill counters (n_cycle_streams,
-// n_jobs, the per-round claim count) so the steady-state path contains no
-// container-growth call at all — which is what lets mmhar_rtcheck prove
-// the zero-allocation contract statically instead of sampling it.
-struct StreamingHarService::BatcherState {
-  struct Claim {
-    Stream* stream = nullptr;
-    std::size_t stream_id = 0;
-    std::size_t slot = 0;
-    std::uint64_t seq = 0;
-    Clock::time_point arrival;
-  };
-  // Per-stream sliding window of the last T raw (pre-dB, pre-normalize)
-  // DRAI frames, as a ring; `next` is the write position and, once
-  // filled, also the oldest frame.
+// Per-stream sliding window of the last T raw (pre-dB, pre-normalize)
+// DRAI frames, as a ring; `next` is the write position and, once filled,
+// also the oldest frame. Indexed by global stream id; written only by the
+// owning shard's cycle.
+struct StreamingHarService::WindowTable {
   struct StreamWindow {
     std::vector<float> drai;
     std::size_t next = 0;
     std::size_t filled = 0;
   };
+  std::vector<StreamWindow> w;
+};
+
+// One batcher shard: wake-up state, the worker thread, and the cycle
+// arenas. Everything outside `sched` and the atomics is touched only by
+// whichever single thread runs this shard's cycle (the worker, or the
+// owner when pumping manually), so it needs no locking. All buffers are
+// sized once in the constructor; the cycle refills them through explicit
+// fill counters (n_cycle_streams, n_jobs, the per-round claim count) so
+// the steady-state path contains no container-growth call at all — which
+// is what lets mmhar_rtcheck prove the zero-allocation contract
+// statically instead of sampling it.
+struct StreamingHarService::Shard {
+  struct Claim {
+    Stream* stream = nullptr;
+    std::size_t stream_id = 0;  ///< global id (WindowTable index)
+    std::size_t slot = 0;
+    std::uint64_t seq = 0;
+    Clock::time_point arrival;
+  };
   struct Job {
+    Stream* stream = nullptr;
     std::size_t stream_id = 0;
+    std::size_t model = 0;
     std::uint64_t seq = 0;           ///< newest window frame
     Clock::time_point arrival;       ///< newest window frame submit time
   };
 
+  Sched sched;
+  std::thread worker;
+
+  // Single-writer shard counters; relaxed atomics so shard_stats can
+  // snapshot them while the worker runs.
+  std::atomic<std::uint64_t> stat_cycles{0};
+  std::atomic<std::uint64_t> stat_frames{0};
+  std::atomic<std::uint64_t> stat_classifications{0};
+  std::atomic<std::uint64_t> stat_deadline_dropped{0};
+
   std::vector<Stream*> cycle_streams;    ///< first n_cycle_streams valid
+  std::vector<std::size_t> cycle_ids;    ///< matching global stream ids
   std::size_t n_cycle_streams = 0;
   std::vector<Claim> claims;             ///< current round only
   std::vector<dsp::FftManyIo> range_ios;
   std::vector<dsp::FftManyMagIo> angle_ios;
   std::vector<dsp::cfloat> spectra;      ///< per-round spectra arena
-  std::vector<StreamWindow> windows;     ///< indexed by stream id
   std::vector<Job> jobs;                 ///< whole cycle; first n_jobs valid
   std::size_t n_jobs = 0;
   std::vector<float> net_input;          ///< [jobs x T x R x A]
   std::vector<float> logits;             ///< [jobs x C]
+  std::vector<float> model_input;        ///< per-model gather [jobs x T x R x A]
+  std::vector<float> model_logits;       ///< per-model logits [jobs x C]
+  std::vector<std::size_t> model_rows;   ///< job index per gathered row
   har::InferenceScratch scratch;
   std::size_t rr = 0;                    ///< round-robin fairness offset
 };
@@ -129,6 +161,9 @@ ServingConfig ServingConfig::from_env() {
   cfg.queue_depth = static_cast<std::size_t>(
       env_int("MMHAR_SERVING_QUEUE_DEPTH",
               static_cast<long>(cfg.queue_depth)));
+  cfg.num_shards = static_cast<std::size_t>(
+      env_int("MMHAR_SERVING_SHARDS", static_cast<long>(cfg.num_shards)));
+  cfg.slo_ms = env_int("MMHAR_SERVING_SLO_MS", cfg.slo_ms);
   const std::string policy = env_string("MMHAR_SERVING_DROP_POLICY", "oldest");
   MMHAR_REQUIRE(policy == "oldest" || policy == "newest",
                 "MMHAR_SERVING_DROP_POLICY must be 'oldest' or 'newest', got "
@@ -142,12 +177,16 @@ ServingConfig ServingConfig::from_env() {
 
 StreamingHarService::StreamingHarService(const ServingConfig& config,
                                          har::HarModel& model)
-    : config_(config) {
+    : config_(config), models_(model) {
   const har::HarModelConfig& mc = model.config();
   const dsp::HeatmapConfig& hm = config.heatmap;
   MMHAR_REQUIRE(config.max_streams > 0 && config.queue_depth > 0 &&
                     config.batch_max > 0 && config.result_depth > 0,
                 "ServingConfig: all capacities must be positive");
+  MMHAR_REQUIRE(config.num_shards > 0,
+                "ServingConfig: num_shards must be positive");
+  MMHAR_REQUIRE(config.slo_ms >= 0,
+                "ServingConfig: slo_ms must be non-negative (0 = disabled)");
   MMHAR_REQUIRE(hm.range_bins == mc.height && hm.angle_bins == mc.width,
                 "ServingConfig: heatmap dims must match the model ("
                     << mc.height << "x" << mc.width << ")");
@@ -167,9 +206,9 @@ StreamingHarService::StreamingHarService(const ServingConfig& config,
 
   window_frames_ = mc.frames;
   num_classes_ = mc.num_classes;
+  deadline_enabled_ = config.slo_ms > 0;
+  deadline_budget_ = std::chrono::milliseconds(config.slo_ms);
   range_window_ = dsp::cached_window(hm.range_window, config.num_samples).data();
-  plan_ = har::build_inference_plan(model);
-  sched_ = std::make_unique<Sched>();
   registry_ = std::make_unique<Registry>();
   {
     MutexLock lk(registry_->mu);
@@ -179,33 +218,56 @@ StreamingHarService::StreamingHarService(const ServingConfig& config,
   const std::size_t hw = hm.range_bins * hm.angle_bins;
   const std::size_t spectra_elems =
       config.num_chirps * config.num_antennas * hm.range_bins;
-  batch_ = std::make_unique<BatcherState>();
-  batch_->cycle_streams.resize(config.max_streams, nullptr);
-  batch_->claims.resize(config.batch_max);
-  batch_->range_ios.resize(config.batch_max);
-  batch_->angle_ios.resize(config.batch_max);
-  batch_->spectra.resize(config.batch_max * spectra_elems);
-  batch_->windows.resize(config.max_streams);
-  for (BatcherState::StreamWindow& w : batch_->windows)
+  windows_ = std::make_unique<WindowTable>();
+  windows_->w.resize(config.max_streams);
+  for (WindowTable::StreamWindow& w : windows_->w)
     w.drai.resize(window_frames_ * hw);
-  batch_->jobs.resize(config.batch_max);
-  batch_->net_input.resize(config.batch_max * window_frames_ * hw);
-  batch_->logits.resize(config.batch_max * num_classes_);
-  batch_->scratch.reserve(plan_, config.batch_max);
+
+  shards_.reserve(config.num_shards);
+  for (std::size_t i = 0; i < config.num_shards; ++i) {
+    auto sh = std::make_unique<Shard>();
+    sh->cycle_streams.resize(config.max_streams, nullptr);
+    sh->cycle_ids.resize(config.max_streams, 0);
+    sh->claims.resize(config.batch_max);
+    sh->range_ios.resize(config.batch_max);
+    sh->angle_ios.resize(config.batch_max);
+    sh->spectra.resize(config.batch_max * spectra_elems);
+    sh->jobs.resize(config.batch_max);
+    sh->net_input.resize(config.batch_max * window_frames_ * hw);
+    sh->logits.resize(config.batch_max * num_classes_);
+    sh->model_input.resize(config.batch_max * window_frames_ * hw);
+    sh->model_logits.resize(config.batch_max * num_classes_);
+    sh->model_rows.resize(config.batch_max);
+    sh->scratch.reserve(models_.plan(0), config.batch_max);
+    shards_.push_back(std::move(sh));
+  }
 }
 
 StreamingHarService::~StreamingHarService() { stop(); }
 
-std::size_t StreamingHarService::add_stream() {
+std::size_t StreamingHarService::add_model(har::HarModel& model) {
+  MMHAR_REQUIRE(!started_,
+                "add_model: models must be registered before start() — "
+                "running shards read the registry lock-free");
+  return models_.add(model);
+}
+
+std::size_t StreamingHarService::add_stream(std::size_t model_id) {
+  MMHAR_REQUIRE(model_id < models_.size(),
+                "add_stream: unknown model id " << model_id << " ("
+                    << models_.size() << " registered)");
   const std::size_t frame_elems =
       config_.num_chirps * config_.num_antennas * config_.num_samples;
   MutexLock lk(registry_->mu);
   MMHAR_REQUIRE(registry_->streams.size() < config_.max_streams,
                 "add_stream: all " << config_.max_streams
                                    << " stream slots are active");
+  const std::size_t id = registry_->streams.size();
+  const std::size_t shard = shard_for_key(id, config_.num_shards);
   registry_->streams.push_back(std::make_unique<Stream>(
-      config_.queue_depth, frame_elems, config_.result_depth));
-  return registry_->streams.size() - 1;
+      config_.queue_depth, frame_elems, config_.result_depth, shard,
+      model_id));
+  return id;
 }
 
 StreamingHarService::Stream* StreamingHarService::stream_ptr(
@@ -214,6 +276,10 @@ StreamingHarService::Stream* StreamingHarService::stream_ptr(
   MMHAR_REQUIRE(idx < registry_->streams.size(),
                 "unknown stream id " << idx);
   return registry_->streams[idx].get();
+}
+
+std::size_t StreamingHarService::shard_of_stream(std::size_t stream) const {
+  return stream_ptr(stream)->shard;
 }
 
 bool StreamingHarService::submit_frame(std::size_t stream,
@@ -257,14 +323,17 @@ bool StreamingHarService::submit_frame(std::size_t stream,
     s->slot_arrival[slot] = now;
     s->queued[(s->qhead + s->qcount) % config_.queue_depth] = slot;
     ++s->qcount;
+    if (s->qcount > s->deepest_queue) s->deepest_queue = s->qcount;
   }
 
   // Eviction removed one queued frame and this submit added one, so the
-  // pending count only moves on a non-evicting admit.
+  // pending count only moves on a non-evicting admit. Only the stream's
+  // affinity shard is woken — the others have no claim on this frame.
   if (!evicted) {
-    MutexLock lk(sched_->mu);
-    ++sched_->pending;
-    sched_->cv.notify_one();
+    Sched& sched = shards_[s->shard]->sched;
+    MutexLock lk(sched.mu);
+    ++sched.pending;
+    sched.cv.notify_one();
   }
   return true;
 }
@@ -291,6 +360,8 @@ StreamStats StreamingHarService::stream_stats(std::size_t stream) const {
     st.accepted = s->accepted;
     st.dropped_frames = s->dropped;
     st.rejected_frames = s->rejected;
+    st.deadline_dropped = s->deadline_dropped;
+    st.deepest_queue = s->deepest_queue;
   }
   {
     MutexLock lk(s->results_mu);
@@ -300,49 +371,77 @@ StreamStats StreamingHarService::stream_stats(std::size_t stream) const {
   return st;
 }
 
-// Claim at most one queued frame per stream (round-robin, rotating start
-// so no stream starves), up to `budget` total. Claims land in
-// batch_->claims in per-stream FIFO order.
-std::size_t StreamingHarService::claim_round(std::size_t budget) {
-  BatcherState& bs = *batch_;
-  const std::size_t n = bs.n_cycle_streams;
-  if (n == 0) return 0;
+ShardStats StreamingHarService::shard_stats(std::size_t shard) const {
+  MMHAR_REQUIRE(shard < shards_.size(), "unknown shard " << shard);
+  const Shard& sh = *shards_[shard];
+  ShardStats st;
+  st.cycles = sh.stat_cycles.load(std::memory_order_relaxed);
+  st.frames = sh.stat_frames.load(std::memory_order_relaxed);
+  st.classifications = sh.stat_classifications.load(std::memory_order_relaxed);
+  st.deadline_dropped =
+      sh.stat_deadline_dropped.load(std::memory_order_relaxed);
+  return st;
+}
+
+// Claim at most one live queued frame per stream of this shard
+// (round-robin, rotating start so no stream starves), up to `budget`
+// total. Frames whose admission deadline has already passed are discarded
+// on the way (their count lands in *expired and the per-stream
+// deadline_dropped counter) — deadline scheduling replaces FIFO-oldest:
+// a shard never spends its cycle on work nobody can use. Claims land in
+// sh.claims in per-stream FIFO order.
+std::size_t StreamingHarService::claim_round(Shard& sh, std::size_t budget,
+                                             std::size_t* expired) {
+  *expired = 0;
+  const std::size_t n = sh.n_cycle_streams;
+  if (n == 0 || budget == 0) return 0;
+  const Clock::time_point now =
+      deadline_enabled_ ? Clock::now() : Clock::time_point{};
   std::size_t got = 0;
   for (std::size_t k = 0; k < n && got < budget; ++k) {
-    const std::size_t sid = (bs.rr + k) % n;
-    Stream* s = bs.cycle_streams[sid];
+    const std::size_t idx = (sh.rr + k) % n;
+    Stream* s = sh.cycle_streams[idx];
     MutexLock lk(s->mu);
-    if (s->qcount == 0) continue;
-    const std::size_t slot = s->queued[s->qhead];
-    s->qhead = (s->qhead + 1) % config_.queue_depth;
-    --s->qcount;
-    bs.claims[got] = {s, sid, slot, s->slot_seq[slot], s->slot_arrival[slot]};
-    ++got;
+    while (s->qcount > 0) {
+      const std::size_t slot = s->queued[s->qhead];
+      s->qhead = (s->qhead + 1) % config_.queue_depth;
+      --s->qcount;
+      if (deadline_enabled_ &&
+          now >= s->slot_arrival[slot] + deadline_budget_) {
+        s->free_list[s->free_count++] = slot;
+        ++s->deadline_dropped;
+        ++*expired;
+        continue;  // scan on: a younger queued frame may still be live
+      }
+      sh.claims[got] = {s, sh.cycle_ids[idx], slot, s->slot_seq[slot],
+                        s->slot_arrival[slot]};
+      ++got;
+      break;
+    }
   }
-  bs.rr = (bs.rr + 1) % n;
+  sh.rr = (sh.rr + 1) % n;
   return got;
 }
 
 // One pipeline round over the current claim list (at most one frame per
 // stream, so a window slot written this round is never part of an
 // already-recorded job). Stages are fused across every claimed frame.
-void StreamingHarService::process_round(std::size_t n_claims) {
-  BatcherState& bs = *batch_;
+void StreamingHarService::process_round(Shard& sh, std::size_t n_claims) {
   const dsp::HeatmapConfig& hm = config_.heatmap;
   const std::size_t hw = hm.range_bins * hm.angle_bins;
   const std::size_t wlen = window_frames_ * hw;
   const std::size_t spectra_elems =
       config_.num_chirps * config_.num_antennas * hm.range_bins;
-  MMHAR_CHECK(bs.spectra.size() >= n_claims * spectra_elems);
-  dsp::cfloat* const spectra = bs.spectra.data();
+  MMHAR_CHECK(sh.spectra.size() >= n_claims * spectra_elems);
+  dsp::cfloat* const spectra = sh.spectra.data();
 
   // Stage 1: every claimed frame's windowed Range-FFT in ONE batched
   // call — SIMD lanes run across (chirp, antenna) rows of all frames of
-  // all streams in this round.
-  MMHAR_CHECK(bs.range_ios.size() >= n_claims);
+  // all the shard's streams in this round.
+  MMHAR_CHECK(sh.range_ios.size() >= n_claims);
   for (std::size_t i = 0; i < n_claims; ++i) {
-    const BatcherState::Claim& cl = bs.claims[i];
-    bs.range_ios[i] = {cl.stream->slot_data[cl.slot].data(),
+    const Shard::Claim& cl = sh.claims[i];
+    sh.range_ios[i] = {cl.stream->slot_data[cl.slot].data(),
                        spectra + i * spectra_elems};
   }
   dsp::FftManyJob range_job;
@@ -354,7 +453,7 @@ void StreamingHarService::process_round(std::size_t n_claims) {
   range_job.in_elem_stride = 1;
   dsp::fft_many_crop_multi(range_job, hm.range_bins,
                            std::span<const dsp::FftManyIo>(
-                               bs.range_ios.data(), n_claims),
+                               sh.range_ios.data(), n_claims),
                            hm.range_bins, 1);
   check_finite(std::span<const dsp::cfloat>(spectra, n_claims * spectra_elems),
                "RangeSpectra", "serving/post-fft");
@@ -369,26 +468,27 @@ void StreamingHarService::process_round(std::size_t n_claims) {
 
   // Frame payloads are consumed; hand the slots back to the producers.
   for (std::size_t i = 0; i < n_claims; ++i) {
-    const BatcherState::Claim& cl = bs.claims[i];
+    const Shard::Claim& cl = sh.claims[i];
     MutexLock lk(cl.stream->mu);
     cl.stream->free_list[cl.stream->free_count++] = cl.slot;
   }
 
   // Stage 3: every frame's Angle-FFT → raw DRAI in ONE batched call,
   // written straight into its stream's window ring slot.
-  const std::size_t round_job_start = bs.n_jobs;
-  MMHAR_CHECK(bs.angle_ios.size() >= n_claims &&
-              bs.jobs.size() >= bs.n_jobs + n_claims);
+  const std::size_t round_job_start = sh.n_jobs;
+  MMHAR_CHECK(sh.angle_ios.size() >= n_claims &&
+              sh.jobs.size() >= sh.n_jobs + n_claims);
   for (std::size_t i = 0; i < n_claims; ++i) {
-    const BatcherState::Claim& cl = bs.claims[i];
-    BatcherState::StreamWindow& w = bs.windows[cl.stream_id];
+    const Shard::Claim& cl = sh.claims[i];
+    WindowTable::StreamWindow& w = windows_->w[cl.stream_id];
     MMHAR_CHECK(w.drai.size() == wlen && w.next < window_frames_);
-    bs.angle_ios[i] = {spectra + i * spectra_elems,
+    sh.angle_ios[i] = {spectra + i * spectra_elems,
                        w.drai.data() + w.next * hw};
     w.next = (w.next + 1) % window_frames_;
     if (w.filled < window_frames_) ++w.filled;
     if (w.filled == window_frames_)
-      bs.jobs[bs.n_jobs++] = {cl.stream_id, cl.seq, cl.arrival};
+      sh.jobs[sh.n_jobs++] = {cl.stream, cl.stream_id, cl.stream->model,
+                              cl.seq, cl.arrival};
   }
   dsp::FftManyJob angle_job;
   angle_job.n = hm.angle_bins;
@@ -400,17 +500,17 @@ void StreamingHarService::process_round(std::size_t n_claims) {
   angle_job.in_rep_stride = config_.num_antennas * hm.range_bins;
   dsp::fft_many_mag_accum_multi(angle_job, /*shift=*/true,
                                 std::span<const dsp::FftManyMagIo>(
-                                    bs.angle_ios.data(), n_claims),
+                                    sh.angle_ios.data(), n_claims),
                                 hm.angle_bins, 1);
 
   // Stage 4: gather the windows completed this round into network-input
   // rows, applying the sequence-level dB conversion and min-max
   // normalization exactly as compute_drai_sequence's tail does (to_db
   // then normalize01 over the whole [T, R, A] block).
-  MMHAR_CHECK(bs.net_input.size() >= bs.n_jobs * wlen);
-  float* const net_input = bs.net_input.data();
-  for (std::size_t j = round_job_start; j < bs.n_jobs; ++j) {
-    const BatcherState::StreamWindow& w = bs.windows[bs.jobs[j].stream_id];
+  MMHAR_CHECK(sh.net_input.size() >= sh.n_jobs * wlen);
+  float* const net_input = sh.net_input.data();
+  for (std::size_t j = round_job_start; j < sh.n_jobs; ++j) {
+    const WindowTable::StreamWindow& w = windows_->w[sh.jobs[j].stream_id];
     float* row = net_input + j * wlen;
     for (std::size_t t = 0; t < window_frames_; ++t) {
       const std::size_t src = (w.next + t) % window_frames_;
@@ -437,100 +537,190 @@ void StreamingHarService::process_round(std::size_t n_claims) {
   }
 }
 
-std::size_t StreamingHarService::run_cycle() {
-  BatcherState& bs = *batch_;
-  {
-    MutexLock lk(registry_->mu);
-    MMHAR_CHECK(bs.cycle_streams.size() >= registry_->streams.size());
-    bs.n_cycle_streams = registry_->streams.size();
-    for (std::size_t i = 0; i < bs.n_cycle_streams; ++i)
-      bs.cycle_streams[i] = registry_->streams[i].get();
-  }
-  bs.n_jobs = 0;
-
-  std::size_t total = 0;
-  while (total < config_.batch_max) {
-    const std::size_t got = claim_round(config_.batch_max - total);
-    if (got == 0) break;
-    process_round(got);
-    total += got;
-  }
-
-  // Cross-stream micro-batched CNN-LSTM forward over every window that
-  // completed this cycle, then publish per-stream results.
-  if (bs.n_jobs > 0) {
-    MMHAR_CHECK(bs.logits.size() >= bs.n_jobs * num_classes_);
-    float* const logits = bs.logits.data();
-    har::infer_forward(plan_, bs.scratch, bs.net_input.data(),
-                       bs.n_jobs, logits);
-    check_finite(std::span<const float>(logits, bs.n_jobs * num_classes_),
-                 "logits", "serving/post-forward");
-    const Clock::time_point now = Clock::now();
-    for (std::size_t j = 0; j < bs.n_jobs; ++j) {
-      const BatcherState::Job& job = bs.jobs[j];
-      const float* row = logits + j * num_classes_;
-      Classification result;
-      result.frame_seq = job.seq;
-      result.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
-                              now - job.arrival)
-                              .count();
-      std::size_t best = 0;
-      for (std::size_t c = 1; c < num_classes_; ++c)
-        if (row[c] > row[best]) best = c;
-      result.predicted = best;
-      std::copy(row, row + num_classes_, result.logits);
-      Stream* s = bs.cycle_streams[job.stream_id];
-      MutexLock lk(s->results_mu);
-      if (s->rcount == config_.result_depth) {
-        s->rhead = (s->rhead + 1) % config_.result_depth;
-        --s->rcount;
-        ++s->dropped_results;
+// Cross-stream micro-batched CNN-LSTM forward over every window that
+// completed this cycle — one infer_forward per model version with jobs.
+// With a single registered model the gather is skipped and the whole
+// cycle goes through one call; either way each output row's arithmetic is
+// independent of batch composition, so grouping by model cannot change
+// any stream's logits.
+void StreamingHarService::run_inference(Shard& sh) {
+  const dsp::HeatmapConfig& hm = config_.heatmap;
+  const std::size_t wlen =
+      window_frames_ * hm.range_bins * hm.angle_bins;
+  MMHAR_CHECK(sh.logits.size() >= sh.n_jobs * num_classes_);
+  if (models_.size() == 1) {
+    har::infer_forward(models_.plan(0), sh.scratch, sh.net_input.data(),
+                       sh.n_jobs, sh.logits.data());
+  } else {
+    for (std::size_t m = 0; m < models_.size(); ++m) {
+      std::size_t rows = 0;
+      for (std::size_t j = 0; j < sh.n_jobs; ++j) {
+        if (sh.jobs[j].model != m) continue;
+        sh.model_rows[rows] = j;
+        std::copy(sh.net_input.begin() + static_cast<std::ptrdiff_t>(j * wlen),
+                  sh.net_input.begin() +
+                      static_cast<std::ptrdiff_t>((j + 1) * wlen),
+                  sh.model_input.begin() +
+                      static_cast<std::ptrdiff_t>(rows * wlen));
+        ++rows;
       }
-      s->results[(s->rhead + s->rcount) % config_.result_depth] = result;
-      ++s->rcount;
-      ++s->classifications;
+      if (rows == 0) continue;
+      har::infer_forward(models_.plan(m), sh.scratch, sh.model_input.data(),
+                         rows, sh.model_logits.data());
+      for (std::size_t r = 0; r < rows; ++r)
+        std::copy(sh.model_logits.begin() +
+                      static_cast<std::ptrdiff_t>(r * num_classes_),
+                  sh.model_logits.begin() +
+                      static_cast<std::ptrdiff_t>((r + 1) * num_classes_),
+                  sh.logits.begin() + static_cast<std::ptrdiff_t>(
+                                          sh.model_rows[r] * num_classes_));
     }
   }
+  check_finite(
+      std::span<const float>(sh.logits.data(), sh.n_jobs * num_classes_),
+      "logits", "serving/post-forward");
+}
 
-  if (total > 0) {
-    MutexLock lk(sched_->mu);
-    sched_->pending -= static_cast<std::int64_t>(total);
+// Publish the cycle's classifications into their streams' result rings.
+// Under deadline scheduling a result that is already past its newest
+// frame's deadline is discarded instead of delivered — a late answer is
+// useless to the consumer, and delivering it would hide the overload the
+// SLO exists to surface. Returns the number actually published.
+std::size_t StreamingHarService::publish_results(Shard& sh) {
+  const Clock::time_point now = Clock::now();
+  std::size_t published = 0;
+  for (std::size_t j = 0; j < sh.n_jobs; ++j) {
+    const Shard::Job& job = sh.jobs[j];
+    Stream* s = job.stream;
+    if (deadline_enabled_ && now > job.arrival + deadline_budget_) {
+      MutexLock lk(s->mu);
+      ++s->deadline_dropped;
+      continue;
+    }
+    MMHAR_CHECK((j + 1) * num_classes_ <= sh.logits.size());
+    const float* row = sh.logits.data() + j * num_classes_;
+    Classification result;
+    result.frame_seq = job.seq;
+    result.latency_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                            now - job.arrival)
+                            .count();
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < num_classes_; ++c)
+      if (row[c] > row[best]) best = c;
+    result.predicted = best;
+    std::copy(row, row + num_classes_, result.logits);
+    MutexLock lk(s->results_mu);
+    if (s->rcount == config_.result_depth) {
+      s->rhead = (s->rhead + 1) % config_.result_depth;
+      --s->rcount;
+      ++s->dropped_results;
+    }
+    s->results[(s->rhead + s->rcount) % config_.result_depth] = result;
+    ++s->rcount;
+    ++s->classifications;
+    ++published;
   }
+  return published;
+}
+
+std::size_t StreamingHarService::run_shard_cycle(std::size_t shard) {
+  MMHAR_CHECK(shard < shards_.size());
+  Shard& sh = *shards_[shard];
+  {
+    MutexLock lk(registry_->mu);
+    const std::size_t n = registry_->streams.size();
+    MMHAR_CHECK(sh.cycle_streams.size() >= n);
+    sh.n_cycle_streams = 0;
+    for (std::size_t i = 0; i < n; ++i) {
+      Stream* s = registry_->streams[i].get();
+      if (s->shard != shard) continue;
+      sh.cycle_streams[sh.n_cycle_streams] = s;
+      sh.cycle_ids[sh.n_cycle_streams] = i;
+      ++sh.n_cycle_streams;
+    }
+  }
+  sh.n_jobs = 0;
+
+  // Claim until the batch budget is spent; deadline-expired frames count
+  // against the budget too (their removal is the cycle's work product as
+  // much as a classification is, and the bound keeps a flood of stale
+  // frames from pinning the shard in this loop).
+  std::size_t claimed = 0;
+  std::size_t expired = 0;
+  while (claimed + expired < config_.batch_max) {
+    std::size_t round_expired = 0;
+    const std::size_t got =
+        claim_round(sh, config_.batch_max - claimed - expired,
+                    &round_expired);
+    expired += round_expired;
+    if (got == 0 && round_expired == 0) break;
+    if (got > 0) process_round(sh, got);
+    claimed += got;
+  }
+
+  std::size_t published = 0;
+  if (sh.n_jobs > 0) {
+    run_inference(sh);
+    published = publish_results(sh);
+  }
+
+  const std::size_t consumed = claimed + expired;
+  if (consumed > 0) {
+    {
+      MutexLock lk(sh.sched.mu);
+      sh.sched.pending -= static_cast<std::int64_t>(consumed);
+    }
+    sh.stat_cycles.fetch_add(1, std::memory_order_relaxed);
+    sh.stat_frames.fetch_add(claimed, std::memory_order_relaxed);
+    sh.stat_classifications.fetch_add(published, std::memory_order_relaxed);
+    sh.stat_deadline_dropped.fetch_add(expired + (sh.n_jobs - published),
+                                       std::memory_order_relaxed);
+  }
+  return consumed;
+}
+
+std::size_t StreamingHarService::run_cycle() {
+  std::size_t total = 0;
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    total += run_shard_cycle(i);
   return total;
 }
 
-void StreamingHarService::batcher_main() {
+void StreamingHarService::shard_main(std::size_t shard) {
+  Shard& sh = *shards_[shard];
   for (;;) {
     {
-      MutexLock lk(sched_->mu);
-      while (sched_->pending <= 0 && !sched_->stop) sched_->cv.wait(sched_->mu);
-      if (sched_->stop) return;
+      MutexLock lk(sh.sched.mu);
+      while (sh.sched.pending <= 0 && !sh.sched.stop)
+        sh.sched.cv.wait(sh.sched.mu);
+      if (sh.sched.stop) return;
     }
-    // A cycle that claims nothing means a producer is mid-submit (the
+    // A cycle that consumes nothing means a producer is mid-submit (the
     // pending increment lands after the enqueue); yield instead of
     // spinning hot until it does.
-    if (run_cycle() == 0) std::this_thread::yield();
+    if (run_shard_cycle(shard) == 0) std::this_thread::yield();
   }
 }
 
 void StreamingHarService::start() {
   MMHAR_REQUIRE(!started_, "StreamingHarService::start: already running");
-  {
-    MutexLock lk(sched_->mu);
-    sched_->stop = false;
+  for (std::unique_ptr<Shard>& sh : shards_) {
+    MutexLock lk(sh->sched.mu);
+    sh->sched.stop = false;
   }
-  batcher_thread_ = std::thread([this] { batcher_main(); });
+  for (std::size_t i = 0; i < shards_.size(); ++i)
+    shards_[i]->worker = std::thread([this, i] { shard_main(i); });
   started_ = true;
 }
 
 void StreamingHarService::stop() {
   if (!started_) return;
-  {
-    MutexLock lk(sched_->mu);
-    sched_->stop = true;
-    sched_->cv.notify_all();
+  for (std::unique_ptr<Shard>& sh : shards_) {
+    MutexLock lk(sh->sched.mu);
+    sh->sched.stop = true;
+    sh->sched.cv.notify_all();
   }
-  batcher_thread_.join();
+  for (std::unique_ptr<Shard>& sh : shards_) sh->worker.join();
   started_ = false;
 }
 

@@ -1,51 +1,74 @@
 // Streaming HAR inference service: many concurrent radar streams in,
-// micro-batched classifications out.
+// micro-batched classifications out, scaled across N batcher shards.
 //
 // Architecture (one box per thread role):
 //
-//   producers (N threads)          batcher (1 thread)         consumers
-//   ─────────────────────          ──────────────────         ─────────
-//   submit_frame(cube) ──► per-stream frame ring ──► claim round-robin
-//                          (bounded, drop policy)        │
-//                                                 fused Range-FFT
-//                                                 (one fft_many_crop_multi
-//                                                  call, SIMD lanes across
-//                                                  streams)
-//                                                        │
-//                                                 clutter removal (serial)
-//                                                        │
-//                                                 fused Angle-FFT → DRAI
-//                                                 (one fft_many_mag_accum_
-//                                                  multi call)
-//                                                        │
-//                                                 per-stream sliding window
-//                                                 (T raw DRAI frames)
-//                                                        │
-//                                                 micro-batched CNN-LSTM
-//                                                 (prepacked-GEMM
-//                                                  InferencePlan)
-//                                                        │
+//   producers (N threads)          shard workers (S threads)      consumers
+//   ─────────────────────          ─────────────────────────      ─────────
+//   submit_frame(cube) ──► per-stream frame ring ──► owning shard claims
+//                          (bounded, drop policy)    round-robin (≤1 frame/
+//                                                    stream/round), dropping
+//                                                    frames past deadline
+//                                                         │
+//                                                    fused Range-FFT
+//                                                    (one fft_many_crop_multi
+//                                                     call per shard round,
+//                                                     SIMD lanes across the
+//                                                     shard's streams)
+//                                                         │
+//                                                    clutter removal (serial)
+//                                                         │
+//                                                    fused Angle-FFT → DRAI
+//                                                    (one fft_many_mag_accum_
+//                                                     multi call)
+//                                                         │
+//                                                    per-stream sliding window
+//                                                    (T raw DRAI frames)
+//                                                         │
+//                                                    per-model micro-batched
+//                                                    CNN-LSTM (prepacked-GEMM
+//                                                    InferencePlan from the
+//                                                    ModelRegistry)
+//                                                         │
 //                          per-stream result ring ◄── push ──► poll()
 //
-// Ownership boundaries: the InferencePlan, window geometry, and packed
-// weights are immutable after construction; all per-cycle working state
-// lives in batcher-owned grow-once arenas. After a warm-up cycle the
-// whole submit → classify path performs zero heap allocations (asserted
-// by tests via the mmhar_alloc_count hook).
+// Sharding: each stream is pinned to one shard by a stable affinity hash
+// of its id (serving/affinity.h), so every piece of per-stream state —
+// frame ring, sliding DRAI window, result ring — has exactly one
+// consuming thread and shards share nothing but the immutable config and
+// model plans. Because the assignment is a pure function of the stream id
+// and the per-lane DSP / per-row GEMM arithmetic is independent of batch
+// composition, a stream's classification sequence is bit-identical for
+// ANY shard count (tested for shards ∈ {1, 2, 4}, including under TSan).
+//
+// Deadline scheduling: when ServingConfig::slo_ms > 0 every admitted
+// frame carries an implicit deadline (arrival + SLO). A shard discards
+// queued frames whose deadline has already passed instead of burning its
+// cycle on work nobody can use, and a classification that would be
+// published after its newest frame's deadline is discarded too — so under
+// overload the latency of *delivered* results stays bounded by the SLO
+// and the overflow shows up in StreamStats::deadline_dropped instead of
+// in a collapsing tail. slo_ms = 0 (default) preserves pure FIFO.
+//
+// Multi-model: the service owns a ModelRegistry; each stream is keyed to
+// one registered model version at add_stream time (clean vs backdoored
+// A/B over live streams is the intended experiment). A shard cycle
+// micro-batches each model's completed windows through that model's
+// prepacked-GEMM plan; with a single registered model the gather
+// degenerates to the one-big-batch fast path.
+//
+// Ownership boundaries: the ModelRegistry, window geometry, and packed
+// weights are immutable once serving starts; all per-cycle working state
+// lives in shard-owned grow-once arenas. After a warm-up cycle the whole
+// submit → classify path performs zero heap allocations on every shard
+// (asserted by tests via the mmhar_alloc_count hook).
 //
 // Backpressure: every stream's frame ring is bounded (queue_depth). When
 // a producer submits into a full ring, DropPolicy::kOldest discards the
-// oldest *queued* frame (frames the batcher already claimed are never
+// oldest *queued* frame (frames the shard already claimed are never
 // dropped) and accepts the new one; DropPolicy::kNewest rejects the new
-// frame. Either way memory stays bounded and the per-stream drop/reject
-// counters expose the overload instead of hiding it.
-//
-// Determinism: a stream's classification sequence is a pure function of
-// the frames that survive admission, regardless of how many other
-// streams share the batcher. The fused FFT entry points are per-lane
-// independent and no GEMM in the inference path has a batch-dependent
-// fast path, so serving a stream alone, alongside 63 others, or replaying
-// it after drops yields bit-identical logits (tested).
+// frame. Either way memory stays bounded and the per-stream drop/reject/
+// deadline counters expose the overload instead of hiding it.
 #pragma once
 
 #include <chrono>
@@ -60,6 +83,7 @@
 #include "dsp/heatmap.h"
 #include "har/infer.h"
 #include "har/model.h"
+#include "serving/model_registry.h"
 
 namespace mmhar::serving {
 
@@ -76,9 +100,16 @@ inline constexpr std::size_t kMaxServingClasses = 16;
 struct ServingConfig {
   std::size_t max_streams = 64;   ///< streams preallocated at construction
   std::size_t queue_depth = 4;    ///< per-stream frame-ring capacity
-  std::size_t batch_max = 64;     ///< frames fused per batcher cycle
+  std::size_t batch_max = 64;     ///< frames fused per shard cycle
   std::size_t result_depth = 64;  ///< per-stream result-ring capacity
+  std::size_t num_shards = 1;     ///< batcher shards (one worker each)
   DropPolicy drop_policy = DropPolicy::kOldest;
+
+  /// Admission SLO in milliseconds; 0 disables deadline scheduling. A
+  /// frame older than this is dropped at claim time, and a result that
+  /// would publish past it is dropped at publish time (both counted in
+  /// StreamStats::deadline_dropped).
+  long slo_ms = 0;
 
   // Radar frame geometry every stream must honor.
   std::size_t num_chirps = 16;
@@ -92,7 +123,7 @@ struct ServingConfig {
   dsp::HeatmapConfig heatmap;
 
   /// Defaults overridden by MMHAR_SERVING_BATCH / _QUEUE_DEPTH /
-  /// _DROP_POLICY ("oldest" | "newest").
+  /// _DROP_POLICY ("oldest" | "newest") / _SHARDS / _SLO_MS.
   static ServingConfig from_env();
 };
 
@@ -106,19 +137,30 @@ struct Classification {
 
 /// Monotonic per-stream counters (snapshot).
 struct StreamStats {
-  std::uint64_t submitted = 0;        ///< submit_frame calls
-  std::uint64_t accepted = 0;         ///< frames admitted to the ring
-  std::uint64_t dropped_frames = 0;   ///< queued frames evicted (kOldest)
-  std::uint64_t rejected_frames = 0;  ///< submissions refused (ring full)
-  std::uint64_t classifications = 0;  ///< results produced
-  std::uint64_t dropped_results = 0;  ///< results evicted from a full ring
+  std::uint64_t submitted = 0;         ///< submit_frame calls
+  std::uint64_t accepted = 0;          ///< frames admitted to the ring
+  std::uint64_t dropped_frames = 0;    ///< queued frames evicted (kOldest)
+  std::uint64_t rejected_frames = 0;   ///< submissions refused (ring full)
+  std::uint64_t deadline_dropped = 0;  ///< frames/results past the SLO deadline
+  std::uint64_t deepest_queue = 0;     ///< frame-ring occupancy high-watermark
+  std::uint64_t classifications = 0;   ///< results produced
+  std::uint64_t dropped_results = 0;   ///< results evicted from a full ring
+};
+
+/// Monotonic per-shard counters (snapshot; relaxed reads of the shard
+/// worker's single-writer counters).
+struct ShardStats {
+  std::uint64_t cycles = 0;            ///< shard cycles that consumed frames
+  std::uint64_t frames = 0;            ///< frames claimed and processed
+  std::uint64_t classifications = 0;   ///< results published
+  std::uint64_t deadline_dropped = 0;  ///< deadline drops (claim + publish)
 };
 
 class StreamingHarService {
  public:
-  /// Snapshots `model`'s weights into an InferencePlan and preallocates
-  /// every ring and arena; later training of `model` does not affect the
-  /// service.
+  /// Snapshots `model`'s weights into the registry as model id 0 and
+  /// preallocates every ring and per-shard arena; later training of
+  /// `model` does not affect the service.
   StreamingHarService(const ServingConfig& config, har::HarModel& model);
   ~StreamingHarService();
   StreamingHarService(const StreamingHarService&) = delete;
@@ -126,9 +168,19 @@ class StreamingHarService {
 
   const ServingConfig& config() const { return config_; }
 
-  /// Activate the next stream slot; returns its id. Thread-safe; fails
-  /// once max_streams are active.
-  std::size_t add_stream();
+  /// Register another model version (same architecture as model 0, seed
+  /// excepted); returns its id. Setup-phase only: must be called before
+  /// start() — the registry is read lock-free by running shards.
+  std::size_t add_model(har::HarModel& model);
+  std::size_t num_models() const { return models_.size(); }
+
+  /// Activate the next stream slot, classified by `model_id` (default:
+  /// model 0) and pinned to its affinity shard; returns the stream id.
+  /// Thread-safe; fails once max_streams are active.
+  std::size_t add_stream(std::size_t model_id = 0);
+
+  /// Shard the affinity hash pinned `stream` to.
+  std::size_t shard_of_stream(std::size_t stream) const MMHAR_REALTIME_HANDOFF;
 
   /// Copy one radar frame into `stream`'s ring. Returns true when the
   /// frame was admitted (possibly evicting an older queued frame under
@@ -143,53 +195,68 @@ class StreamingHarService {
                    std::span<Classification> out) MMHAR_REALTIME_HANDOFF;
 
   StreamStats stream_stats(std::size_t stream) const MMHAR_REALTIME_HANDOFF;
+  ShardStats shard_stats(std::size_t shard) const;
 
-  /// Spawn the background batcher thread. start/stop/run_cycle must be
+  /// Spawn one background worker per shard. start/stop/run_cycle must be
   /// sequenced by the owner (single controlling thread).
   void start();
 
-  /// Ask the batcher to exit and join it. Idempotent.
+  /// Ask every shard worker to exit and join them. Idempotent.
   void stop();
 
-  /// Run one batcher cycle on the calling thread: claim up to batch_max
-  /// queued frames, run the fused DSP + micro-batched inference pipeline,
-  /// publish results. Returns the number of frames processed. Only valid
-  /// while the background batcher is NOT running — tests and benchmarks
-  /// use this for deterministic, single-threaded pumping.
+  /// Run one cycle of every shard on the calling thread, in shard order.
+  /// Returns the number of frames consumed (claimed + deadline-expired).
+  /// Only valid while the background workers are NOT running — tests and
+  /// benchmarks use this for deterministic, single-threaded pumping.
   std::size_t run_cycle() MMHAR_REALTIME_HANDOFF;
+
+  /// One cycle of a single shard (what a shard worker runs per wake-up):
+  /// claim up to batch_max queued frames owned by `shard`, run the fused
+  /// DSP + per-model micro-batched inference pipeline, publish results.
+  /// Returns the number of frames consumed. Thread-safe against the other
+  /// shards; at most one caller per shard.
+  std::size_t run_shard_cycle(std::size_t shard) MMHAR_REALTIME_HANDOFF;
 
  private:
   struct Stream;
-  struct Sched;
-  struct BatcherState;
+  struct Shard;
+  struct WindowTable;
 
   // The MMHAR_REALTIME_HANDOFF annotations above and below form the
   // serving steady-state root set of tools/mmhar_rtcheck (see
   // tools/rtcheck_roots.txt): everything reachable from them is proved
   // allocation-, blocking-, throw-free, with bounded lock hand-offs
-  // permitted only in the annotated bodies themselves. batcher_main is
+  // permitted only in the annotated bodies themselves. shard_main is
   // deliberately NOT annotated: its condvar wait is the idle-side sleep,
   // outside the real-time region that starts once work exists.
   Stream* stream_ptr(std::size_t idx) const MMHAR_REALTIME_HANDOFF;
-  void batcher_main();
-  std::size_t claim_round(std::size_t budget) MMHAR_REALTIME_HANDOFF;
-  void process_round(std::size_t n_claims) MMHAR_REALTIME_HANDOFF;
+  void shard_main(std::size_t shard);
+  std::size_t claim_round(Shard& sh, std::size_t budget,
+                          std::size_t* expired) MMHAR_REALTIME_HANDOFF;
+  void process_round(Shard& sh, std::size_t n_claims) MMHAR_REALTIME_HANDOFF;
+  void run_inference(Shard& sh) MMHAR_REALTIME_HANDOFF;
+  std::size_t publish_results(Shard& sh) MMHAR_REALTIME_HANDOFF;
 
   ServingConfig config_;
   std::size_t window_frames_ = 0;   ///< T, from the model config
   std::size_t num_classes_ = 0;
+  bool deadline_enabled_ = false;
+  std::chrono::steady_clock::duration deadline_budget_{};
   const float* range_window_ = nullptr;  ///< cached window table (stable)
-  har::InferencePlan plan_;
+  ModelRegistry models_;
 
-  std::unique_ptr<Sched> sched_;
-  std::unique_ptr<BatcherState> batch_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  // Sliding DRAI windows indexed by global stream id; each entry is only
+  // ever touched by the cycle of the shard its stream is pinned to, so
+  // the table needs no locking (single consumer per stream by affinity).
+  std::unique_ptr<WindowTable> windows_;
 
   // Stream registry: the vector is reserved to max_streams up front, so
   // element storage never moves; Stream objects are heap-stable.
   struct Registry;
   std::unique_ptr<Registry> registry_;
 
-  std::thread batcher_thread_;
   bool started_ = false;  ///< owner-thread state, not shared
 };
 

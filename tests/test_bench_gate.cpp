@@ -112,6 +112,31 @@ TEST(BenchGate, RatiosOnlyIgnoresAbsoluteMetrics) {
   EXPECT_EQ(r.exit_code, 0) << r.output;
 }
 
+TEST(BenchGate, SpeedupSuffixMetricsAreGated) {
+  // Ratio metrics are matched by the "speedup" basename *suffix*, so the
+  // serving shard-scaling ratio (shard_speedup) gates exactly like the
+  // plain speedup — in both directions and in --ratios-only mode.
+  const fs::path base = write_json("base_suffix.json", R"({
+    "N64_S2": {"shard_speedup": 2.0, "classifications_per_sec": 800.0}
+  })");
+  const fs::path held = write_json("cur_suffix_ok.json", R"({
+    "N64_S2": {"shard_speedup": 1.9, "classifications_per_sec": 80.0}
+  })");
+  const RunResult ok = run(gate_cmd(base, held, "--ratios-only"));
+  EXPECT_EQ(ok.exit_code, 0) << ok.output;
+  EXPECT_NE(ok.output.find("N64_S2.shard_speedup"), std::string::npos)
+      << ok.output;
+  const fs::path lost = write_json("cur_suffix_bad.json", R"({
+    "N64_S2": {"shard_speedup": 1.0, "classifications_per_sec": 800.0}
+  })");
+  const RunResult bad = run(gate_cmd(base, lost, "--ratios-only"));
+  EXPECT_EQ(bad.exit_code, 1) << bad.output;
+  EXPECT_NE(bad.output.find("FAIL  N64_S2.shard_speedup"), std::string::npos)
+      << bad.output;
+  // Full mode gates it too (higher-is-better direction).
+  EXPECT_EQ(run(gate_cmd(base, lost)).exit_code, 1);
+}
+
 TEST(BenchGate, MissingBaselineKeyFailsFullModeOnly) {
   const fs::path base = write_json("base.json", kBaseline);
   const fs::path cur = write_json("cur_missing.json", R"({

@@ -16,10 +16,11 @@
 // informational and never gated. Keys present in only one file are
 // listed; in full mode a baseline key missing from the current run fails
 // the gate (a silently vanished metric is a regression of the report
-// itself), while --ratios-only restricts gating to `speedup` fields,
-// which are machine-portable — absolute seconds measured on different
-// hardware are not comparable, so CI uses --ratios-only against the
-// committed baselines. Exit code: 0 pass, 1 regression, 2 usage/parse
+// itself), while --ratios-only restricts gating to ratio fields (basename
+// ending in `speedup`, e.g. `speedup` and `shard_speedup`), which are
+// machine-portable — absolute seconds measured on different hardware are
+// not comparable, so CI uses --ratios-only against the committed
+// baselines. Exit code: 0 pass, 1 regression, 2 usage/parse
 // error.
 //
 // No library dependencies on purpose (like the other tools/ binaries):
@@ -147,6 +148,15 @@ std::string basename_of(const std::string& key) {
   return dot == std::string::npos ? key : key.substr(dot + 1);
 }
 
+// Ratio metrics are named by suffix so derived ratios ("shard_speedup")
+// gate like the plain "speedup" they generalize.
+bool is_ratio_metric(const std::string& base) {
+  static const std::string kSuffix = "speedup";
+  return base.size() >= kSuffix.size() &&
+         base.compare(base.size() - kSuffix.size(), kSuffix.size(), kSuffix) ==
+             0;
+}
+
 enum class Direction { kLower, kHigher, kUngated };
 
 Direction direction_of(const std::string& key) {
@@ -155,6 +165,7 @@ Direction direction_of(const std::string& key) {
     if (base == name) return Direction::kLower;
   for (const char* name : kHigherIsBetter)
     if (base == name) return Direction::kHigher;
+  if (is_ratio_metric(base)) return Direction::kHigher;
   return Direction::kUngated;
 }
 
@@ -213,7 +224,7 @@ int main(int argc, char** argv) {
   for (const auto& [key, base_val] : base.values) {
     Direction dir = direction_of(key);
     if (dir == Direction::kUngated) continue;
-    if (ratios_only && basename_of(key) != "speedup") continue;
+    if (ratios_only && !is_ratio_metric(basename_of(key))) continue;
     const auto it = cur.values.find(key);
     if (it == cur.values.end()) {
       if (ratios_only) {
