@@ -124,14 +124,17 @@ std::size_t FaultInjector::fire_count(const std::string& site) const {
 }
 
 bool fault_should_fire(const char* site) {
-  if (!g_armed.load(std::memory_order_relaxed)) {
-    // Force the instance (and its env read) to exist so an exported
-    // MMHAR_FAULT_SPEC arms the first call instead of never.
-    static const bool init = (FaultInjector::instance(), true);
-    (void)init;
-    if (!g_armed.load(std::memory_order_relaxed)) return false;
-  }
+  if (!fault_injection_armed()) return false;
   return FaultInjector::instance().should_fire(site);
+}
+
+bool fault_injection_armed() {
+  if (g_armed.load(std::memory_order_relaxed)) return true;
+  // Force the instance (and its env read) to exist so an exported
+  // MMHAR_FAULT_SPEC arms the first call instead of never.
+  static const bool init = (FaultInjector::instance(), true);
+  (void)init;
+  return g_armed.load(std::memory_order_relaxed);
 }
 
 std::uint64_t fault_draw(std::uint64_t n) {

@@ -25,6 +25,14 @@
 //   artifact.short_write   temp-file write stops partway and throws IoError
 //   artifact.rename_fail   temp->final rename throws IoError (temp removed)
 //   experiment.repeat_fail one sweep repeat throws before training
+//   serving.frame_poison   a claimed frame gains a NaN sample before the
+//                          quarantine scan (one call per claimed frame)
+//   serving.infer_fail     one micro-batch inference row fails and is
+//                          contained per-row (one call per job row)
+//   serving.shard_stall    a shard worker wedges on its condvar until the
+//                          watchdog restarts it (one call per wake-up)
+//   serving.shard_crash    a shard worker dies on an escaped-exception
+//                          path, claim-free (one call per wake-up)
 //
 // Tests normally bypass the env and call
 // `FaultInjector::instance().configure(spec, seed)` directly, then
@@ -87,5 +95,13 @@ class FaultInjector {
 /// Fast-path helpers: no-ops (false / 0) when the injector is unarmed.
 bool fault_should_fire(const char* site);
 std::uint64_t fault_draw(std::uint64_t n);
+
+/// Unarmed fast path for real-time callers: one relaxed atomic load (plus
+/// a one-time instance init so an exported MMHAR_FAULT_SPEC arms the
+/// first call). Guard every hot-path fault_should_fire/fault_draw behind
+/// this — those take the injector mutex and may allocate bookkeeping, so
+/// the zero-steady-state-allocation contract only holds when they are
+/// unreachable while disarmed.
+bool fault_injection_armed();
 
 }  // namespace mmhar

@@ -3,9 +3,11 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <limits>
 
 #include "common/check.h"
 #include "common/env.h"
+#include "common/fault_injection.h"
 #include "common/finite_check.h"
 #include "common/mutex.h"
 #include "common/thread_annotations.h"
@@ -15,6 +17,24 @@
 namespace mmhar::serving {
 
 using Clock = std::chrono::steady_clock;
+
+namespace {
+
+// Idle-side self-healing: a worker whose condvar wait times out runs a
+// probe cycle, so a lost wake-up or a pending count left stale by a
+// crashed predecessor costs at most this much latency, never starvation.
+constexpr std::chrono::milliseconds kIdlePoll{100};
+
+// Consecutive zero-consume cycles before a worker clamps a stale positive
+// pending count back to zero (a genuine mid-submit race clears in one or
+// two cycles; a crash that leaked claimed frames never clears on its own).
+constexpr int kZeroConsumeClamp = 64;
+
+// Heartbeat-frozen-with-work-pending observations before the watchdog
+// declares a shard stalled and restarts it.
+constexpr int kStallStrikes = 3;
+
+}  // namespace
 
 // ---- Internal state records ------------------------------------------------
 
@@ -57,6 +77,17 @@ struct StreamingHarService::Stream {
   std::uint64_t rejected MMHAR_GUARDED_BY(mu) = 0;
   std::uint64_t deadline_dropped MMHAR_GUARDED_BY(mu) = 0;
   std::uint64_t deepest_queue MMHAR_GUARDED_BY(mu) = 0;
+  // Fault containment (DESIGN.md §6c): quarantine/error totals, the
+  // consecutive-fault streak driving suspension, and the suspension
+  // state itself. All mutated by the owning shard's cycle (plus read by
+  // stream_stats/health), under the same mutex as the ring hand-off —
+  // the hot path pays no extra lock for them.
+  std::uint64_t quarantined MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t errors MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t suspended_dropped MMHAR_GUARDED_BY(mu) = 0;
+  std::uint64_t suspensions MMHAR_GUARDED_BY(mu) = 0;
+  std::size_t consecutive_faults MMHAR_GUARDED_BY(mu) = 0;
+  bool suspended MMHAR_GUARDED_BY(mu) = false;
   // Payload buffers: published by the mutex acquire/release around the
   // slot-index hand-offs above, never accessed under the lock itself.
   // mmhar-analyze: allow(lock-annotation-coverage)
@@ -133,6 +164,17 @@ struct StreamingHarService::Shard {
   std::atomic<std::uint64_t> stat_frames{0};
   std::atomic<std::uint64_t> stat_classifications{0};
   std::atomic<std::uint64_t> stat_deadline_dropped{0};
+  std::atomic<std::uint64_t> stat_faults{0};
+
+  // Supervision state. heartbeat is bumped by the worker once per
+  // wake-up; the watchdog compares epochs across its cadence. crashed is
+  // set (release) by a worker that caught an escaped exception and
+  // parked itself; stalled is a watchdog-owned diagnostic flag.
+  // stat_restarts counts supervised restarts (watchdog-written).
+  std::atomic<std::uint64_t> heartbeat{0};
+  std::atomic<bool> crashed{false};
+  std::atomic<bool> stalled{false};
+  std::atomic<std::uint64_t> stat_restarts{0};
 
   std::vector<Stream*> cycle_streams;    ///< first n_cycle_streams valid
   std::vector<std::size_t> cycle_ids;    ///< matching global stream ids
@@ -148,8 +190,18 @@ struct StreamingHarService::Shard {
   std::vector<float> model_input;        ///< per-model gather [jobs x T x R x A]
   std::vector<float> model_logits;       ///< per-model logits [jobs x C]
   std::vector<std::size_t> model_rows;   ///< job index per gathered row
+  std::vector<std::uint8_t> claim_dead;  ///< per-claim containment marks
+  std::vector<std::uint8_t> job_dead;    ///< per-job containment marks
   har::InferenceScratch scratch;
   std::size_t rr = 0;                    ///< round-robin fairness offset
+};
+
+// Watchdog wake-up state: a plain stop/notify pair; the cadence comes
+// from CondVar::wait_for so stop() never waits out a full period.
+struct StreamingHarService::WatchdogState {
+  Mutex mu;
+  CondVar cv;
+  bool stop MMHAR_GUARDED_BY(mu) = false;
 };
 
 // ---- Configuration ---------------------------------------------------------
@@ -164,6 +216,10 @@ ServingConfig ServingConfig::from_env() {
   cfg.num_shards = static_cast<std::size_t>(
       env_int("MMHAR_SERVING_SHARDS", static_cast<long>(cfg.num_shards)));
   cfg.slo_ms = env_int("MMHAR_SERVING_SLO_MS", cfg.slo_ms);
+  cfg.max_stream_faults = static_cast<std::size_t>(
+      env_int("MMHAR_SERVING_MAX_STREAM_FAULTS",
+              static_cast<long>(cfg.max_stream_faults)));
+  cfg.watchdog_ms = env_int("MMHAR_SERVING_WATCHDOG_MS", cfg.watchdog_ms);
   const std::string policy = env_string("MMHAR_SERVING_DROP_POLICY", "oldest");
   MMHAR_REQUIRE(policy == "oldest" || policy == "newest",
                 "MMHAR_SERVING_DROP_POLICY must be 'oldest' or 'newest', got "
@@ -187,6 +243,9 @@ StreamingHarService::StreamingHarService(const ServingConfig& config,
                 "ServingConfig: num_shards must be positive");
   MMHAR_REQUIRE(config.slo_ms >= 0,
                 "ServingConfig: slo_ms must be non-negative (0 = disabled)");
+  MMHAR_REQUIRE(config.watchdog_ms >= 0,
+                "ServingConfig: watchdog_ms must be non-negative "
+                "(0 = unsupervised)");
   MMHAR_REQUIRE(hm.range_bins == mc.height && hm.angle_bins == mc.width,
                 "ServingConfig: heatmap dims must match the model ("
                     << mc.height << "x" << mc.width << ")");
@@ -238,9 +297,12 @@ StreamingHarService::StreamingHarService(const ServingConfig& config,
     sh->model_input.resize(config.batch_max * window_frames_ * hw);
     sh->model_logits.resize(config.batch_max * num_classes_);
     sh->model_rows.resize(config.batch_max);
+    sh->claim_dead.resize(config.batch_max, 0);
+    sh->job_dead.resize(config.batch_max, 0);
     sh->scratch.reserve(models_.plan(0), config.batch_max);
     shards_.push_back(std::move(sh));
   }
+  watchdog_ = std::make_unique<WatchdogState>();
 }
 
 StreamingHarService::~StreamingHarService() { stop(); }
@@ -362,6 +424,11 @@ StreamStats StreamingHarService::stream_stats(std::size_t stream) const {
     st.rejected_frames = s->rejected;
     st.deadline_dropped = s->deadline_dropped;
     st.deepest_queue = s->deepest_queue;
+    st.quarantined = s->quarantined;
+    st.errors = s->errors;
+    st.suspended_dropped = s->suspended_dropped;
+    st.suspensions = s->suspensions;
+    st.suspended = s->suspended;
   }
   {
     MutexLock lk(s->results_mu);
@@ -383,16 +450,46 @@ ShardStats StreamingHarService::shard_stats(std::size_t shard) const {
   return st;
 }
 
+ServiceHealth StreamingHarService::health() const {
+  ServiceHealth h;
+  h.watchdog_running = watchdog_running_.load(std::memory_order_relaxed);
+  h.shards.reserve(shards_.size());
+  for (const std::unique_ptr<Shard>& sh : shards_) {
+    ShardHealth sd;
+    sd.crashed = sh->crashed.load(std::memory_order_acquire);
+    sd.stalled = sh->stalled.load(std::memory_order_relaxed);
+    sd.heartbeat = sh->heartbeat.load(std::memory_order_relaxed);
+    sd.restarts = sh->stat_restarts.load(std::memory_order_relaxed);
+    sd.faults = sh->stat_faults.load(std::memory_order_relaxed);
+    h.restarts += sd.restarts;
+    h.shards.push_back(sd);
+  }
+  MutexLock lk(registry_->mu);
+  for (const std::unique_ptr<Stream>& s : registry_->streams) {
+    MutexLock slk(s->mu);
+    h.quarantined += s->quarantined;
+    h.errors += s->errors;
+    if (s->suspended) ++h.suspended_streams;
+  }
+  return h;
+}
+
 // Claim at most one live queued frame per stream of this shard
 // (round-robin, rotating start so no stream starves), up to `budget`
 // total. Frames whose admission deadline has already passed are discarded
 // on the way (their count lands in *expired and the per-stream
 // deadline_dropped counter) — deadline scheduling replaces FIFO-oldest:
-// a shard never spends its cycle on work nobody can use. Claims land in
+// a shard never spends its cycle on work nobody can use. A suspended
+// stream first sheds its backlog (all but the newest queued frame,
+// counted in *shed and suspended_dropped — the queue is at most
+// queue_depth deep, so shedding is bounded without charging the budget)
+// and then claims the survivor as its recovery probe. Claims land in
 // sh.claims in per-stream FIFO order.
 std::size_t StreamingHarService::claim_round(Shard& sh, std::size_t budget,
-                                             std::size_t* expired) {
+                                             std::size_t* expired,
+                                             std::size_t* shed) {
   *expired = 0;
+  *shed = 0;
   const std::size_t n = sh.n_cycle_streams;
   if (n == 0 || budget == 0) return 0;
   const Clock::time_point now =
@@ -402,6 +499,16 @@ std::size_t StreamingHarService::claim_round(Shard& sh, std::size_t budget,
     const std::size_t idx = (sh.rr + k) % n;
     Stream* s = sh.cycle_streams[idx];
     MutexLock lk(s->mu);
+    if (s->suspended) {
+      while (s->qcount > 1) {
+        const std::size_t slot = s->queued[s->qhead];
+        s->qhead = (s->qhead + 1) % config_.queue_depth;
+        --s->qcount;
+        s->free_list[s->free_count++] = slot;
+        ++s->suspended_dropped;
+        ++*shed;
+      }
+    }
     while (s->qcount > 0) {
       const std::size_t slot = s->queued[s->qhead];
       s->qhead = (s->qhead + 1) % config_.queue_depth;
@@ -423,9 +530,81 @@ std::size_t StreamingHarService::claim_round(Shard& sh, std::size_t budget,
   return got;
 }
 
+// Attribute one contained fault to its stream: bump the quarantine or
+// error counter, advance the consecutive-fault streak, and suspend the
+// stream once the streak crosses max_stream_faults (0 = never). Cold
+// path by construction — it only runs when a fault actually fired.
+void StreamingHarService::record_stream_fault(Shard& sh, Stream* s,
+                                              bool quarantine) {
+  sh.stat_faults.fetch_add(1, std::memory_order_relaxed);
+  MutexLock lk(s->mu);
+  if (quarantine) {
+    ++s->quarantined;
+  } else {
+    ++s->errors;
+  }
+  ++s->consecutive_faults;
+  if (config_.max_stream_faults > 0 && !s->suspended &&
+      s->consecutive_faults >= config_.max_stream_faults) {
+    s->suspended = true;
+    ++s->suspensions;
+  }
+}
+
+// Poison-frame quarantine at the claim boundary: every claimed payload is
+// scanned (always on — the slot is exclusively ours here, outside any
+// lock) and a frame carrying NaN/Inf is dropped before it can reach the
+// fused DSP, its slot returned to the producer and the fault attributed
+// to its stream. serving.frame_poison injects a real NaN into the payload
+// first, so the injected and the hostile-producer paths are one path.
+// Returns the number of survivors; sh.claims is compacted to them in
+// stable (per-stream FIFO) order.
+std::size_t StreamingHarService::quarantine_claims(Shard& sh,
+                                                   std::size_t n_claims) {
+  const std::size_t frame_elems =
+      config_.num_chirps * config_.num_antennas * config_.num_samples;
+  std::size_t live = 0;
+  for (std::size_t i = 0; i < n_claims; ++i) {
+    const Shard::Claim& cl = sh.claims[i];
+    dsp::cfloat* const payload = cl.stream->slot_data[cl.slot].data();
+    if (fault_injection_armed()) {
+      // Armed-only cold path: the injector takes its own mutex and may
+      // allocate bookkeeping, which is exactly why it hides behind the
+      // relaxed-atomic armed gate.
+      // mmhar-rtcheck: allow(calls)
+      if (fault_should_fire("serving.frame_poison")) {
+        // mmhar-rtcheck: allow(calls)
+        const std::size_t at = fault_draw(frame_elems);
+        payload[at] = dsp::cfloat(std::numeric_limits<float>::quiet_NaN(),
+                                  payload[at].imag());
+      }
+    }
+    const FiniteScan scan = detail::scan_finite(
+        reinterpret_cast<const float*>(payload), 2 * frame_elems);
+    if (scan.has_nan_or_inf()) {
+      {
+        MutexLock lk(cl.stream->mu);
+        cl.stream->free_list[cl.stream->free_count++] = cl.slot;
+      }
+      record_stream_fault(sh, cl.stream, /*quarantine=*/true);
+      continue;
+    }
+    if (live != i) sh.claims[live] = sh.claims[i];
+    ++live;
+  }
+  return live;
+}
+
 // One pipeline round over the current claim list (at most one frame per
 // stream, so a window slot written this round is never part of an
 // already-recorded job). Stages are fused across every claimed frame.
+//
+// Containment: mmhar::Error at a fused DSP boundary degrades to
+// per-frame (batch-1) reruns — per-lane FFT arithmetic is independent of
+// batch composition, so the reruns are bit-identical and only the faulty
+// frame is sacrificed (claim_dead, StreamStats::errors). A dead frame
+// never advances its stream's window, so the window slot it would have
+// written is simply rewritten by the next clean frame.
 void StreamingHarService::process_round(Shard& sh, std::size_t n_claims) {
   const dsp::HeatmapConfig& hm = config_.heatmap;
   const std::size_t hw = hm.range_bins * hm.angle_bins;
@@ -433,7 +612,9 @@ void StreamingHarService::process_round(Shard& sh, std::size_t n_claims) {
   const std::size_t spectra_elems =
       config_.num_chirps * config_.num_antennas * hm.range_bins;
   MMHAR_CHECK(sh.spectra.size() >= n_claims * spectra_elems);
+  MMHAR_CHECK(sh.claim_dead.size() >= n_claims);
   dsp::cfloat* const spectra = sh.spectra.data();
+  std::fill_n(sh.claim_dead.begin(), n_claims, std::uint8_t{0});
 
   // Stage 1: every claimed frame's windowed Range-FFT in ONE batched
   // call — SIMD lanes run across (chirp, antenna) rows of all frames of
@@ -451,19 +632,53 @@ void StreamingHarService::process_round(Shard& sh, std::size_t n_claims) {
   range_job.lanes = config_.num_chirps * config_.num_antennas;
   range_job.in_lane_stride = config_.num_samples;
   range_job.in_elem_stride = 1;
-  dsp::fft_many_crop_multi(range_job, hm.range_bins,
-                           std::span<const dsp::FftManyIo>(
-                               sh.range_ios.data(), n_claims),
-                           hm.range_bins, 1);
-  check_finite(std::span<const dsp::cfloat>(spectra, n_claims * spectra_elems),
-               "RangeSpectra", "serving/post-fft");
+  try {
+    dsp::fft_many_crop_multi(range_job, hm.range_bins,
+                             std::span<const dsp::FftManyIo>(
+                                 sh.range_ios.data(), n_claims),
+                             hm.range_bins, 1);
+  } catch (const Error&) {
+    for (std::size_t i = 0; i < n_claims; ++i) {
+      MMHAR_CHECK(i < sh.range_ios.size());
+      try {
+        dsp::fft_many_crop_multi(range_job, hm.range_bins,
+                                 std::span<const dsp::FftManyIo>(
+                                     sh.range_ios.data() + i, 1),
+                                 hm.range_bins, 1);
+      } catch (const Error&) {
+        sh.claim_dead[i] = 1;
+        record_stream_fault(sh, sh.claims[i].stream, /*quarantine=*/false);
+      }
+    }
+  }
+
+  // Post-FFT tripwire (what used to be a fatal whole-batch check_finite):
+  // per-frame, non-throwing, attributed to the offending stream.
+  if (finite_checks_enabled()) {
+    for (std::size_t i = 0; i < n_claims; ++i) {
+      if (sh.claim_dead[i] != 0) continue;
+      const FiniteScan scan = detail::scan_finite(
+          reinterpret_cast<const float*>(spectra + i * spectra_elems),
+          2 * spectra_elems);
+      const bool storm =
+          scan.denormal_count >= kDenormalStormMinCount &&
+          static_cast<double>(scan.denormal_count) >
+              kDenormalStormFraction * static_cast<double>(2 * spectra_elems);
+      if (scan.has_nan_or_inf() || storm) {
+        sh.claim_dead[i] = 1;
+        record_stream_fault(sh, sh.claims[i].stream, /*quarantine=*/false);
+      }
+    }
+  }
 
   // Stage 2: static clutter removal (serial per frame — pool-free).
   if (hm.remove_clutter) {
-    for (std::size_t i = 0; i < n_claims; ++i)
+    for (std::size_t i = 0; i < n_claims; ++i) {
+      if (sh.claim_dead[i] != 0) continue;
       dsp::remove_static_clutter_serial(spectra + i * spectra_elems,
                                         config_.num_chirps,
                                         config_.num_antennas, hm.range_bins);
+    }
   }
 
   // Frame payloads are consumed; hand the slots back to the producers.
@@ -473,22 +688,25 @@ void StreamingHarService::process_round(Shard& sh, std::size_t n_claims) {
     cl.stream->free_list[cl.stream->free_count++] = cl.slot;
   }
 
-  // Stage 3: every frame's Angle-FFT → raw DRAI in ONE batched call,
-  // written straight into its stream's window ring slot.
-  const std::size_t round_job_start = sh.n_jobs;
+  // Stage 3: every surviving frame's Angle-FFT → raw DRAI in ONE batched
+  // call, written straight into its stream's window ring slot. Window
+  // bookkeeping (ring advance, job record) is deferred until the FFT
+  // outcome is known, so a frame that dies here leaves its stream's
+  // window exactly as if the frame were never submitted — the slot it
+  // targeted is rewritten by the next clean frame. (At most one claim
+  // per stream per round, so the deferral cannot interleave two frames
+  // of one stream.)
   MMHAR_CHECK(sh.angle_ios.size() >= n_claims &&
               sh.jobs.size() >= sh.n_jobs + n_claims);
+  std::size_t n_live = 0;
   for (std::size_t i = 0; i < n_claims; ++i) {
+    if (sh.claim_dead[i] != 0) continue;
     const Shard::Claim& cl = sh.claims[i];
     WindowTable::StreamWindow& w = windows_->w[cl.stream_id];
     MMHAR_CHECK(w.drai.size() == wlen && w.next < window_frames_);
-    sh.angle_ios[i] = {spectra + i * spectra_elems,
-                       w.drai.data() + w.next * hw};
-    w.next = (w.next + 1) % window_frames_;
-    if (w.filled < window_frames_) ++w.filled;
-    if (w.filled == window_frames_)
-      sh.jobs[sh.n_jobs++] = {cl.stream, cl.stream_id, cl.stream->model,
-                              cl.seq, cl.arrival};
+    sh.angle_ios[n_live] = {spectra + i * spectra_elems,
+                            w.drai.data() + w.next * hw};
+    ++n_live;
   }
   dsp::FftManyJob angle_job;
   angle_job.n = hm.angle_bins;
@@ -498,10 +716,46 @@ void StreamingHarService::process_round(Shard& sh, std::size_t n_claims) {
   angle_job.in_elem_stride = hm.range_bins;
   angle_job.reps = config_.num_chirps;
   angle_job.in_rep_stride = config_.num_antennas * hm.range_bins;
-  dsp::fft_many_mag_accum_multi(angle_job, /*shift=*/true,
-                                std::span<const dsp::FftManyMagIo>(
-                                    sh.angle_ios.data(), n_claims),
-                                hm.angle_bins, 1);
+  try {
+    dsp::fft_many_mag_accum_multi(angle_job, /*shift=*/true,
+                                  std::span<const dsp::FftManyMagIo>(
+                                      sh.angle_ios.data(), n_live),
+                                  hm.angle_bins, 1);
+  } catch (const Error&) {
+    std::size_t io = 0;
+    for (std::size_t i = 0; i < n_claims; ++i) {
+      if (sh.claim_dead[i] != 0) continue;
+      MMHAR_CHECK(io < sh.angle_ios.size());
+      try {
+        dsp::fft_many_mag_accum_multi(angle_job, /*shift=*/true,
+                                      std::span<const dsp::FftManyMagIo>(
+                                          sh.angle_ios.data() + io, 1),
+                                      hm.angle_bins, 1);
+      } catch (const Error&) {
+        sh.claim_dead[i] = 1;
+        record_stream_fault(sh, sh.claims[i].stream, /*quarantine=*/false);
+      }
+      ++io;
+    }
+  }
+
+  // Deferred window bookkeeping for the survivors; a clean frame that
+  // completes DSP without filling its window is this stream's recovery
+  // signal (jobs get theirs after clean logits in run_inference).
+  const std::size_t round_job_start = sh.n_jobs;
+  for (std::size_t i = 0; i < n_claims; ++i) {
+    if (sh.claim_dead[i] != 0) continue;
+    const Shard::Claim& cl = sh.claims[i];
+    WindowTable::StreamWindow& w = windows_->w[cl.stream_id];
+    w.next = (w.next + 1) % window_frames_;
+    if (w.filled < window_frames_) ++w.filled;
+    if (w.filled == window_frames_) {
+      sh.jobs[sh.n_jobs++] = {cl.stream, cl.stream_id, cl.stream->model,
+                              cl.seq, cl.arrival};
+    } else {
+      clear_stream_fault_streak(cl.stream);
+    }
+  }
 
   // Stage 4: gather the windows completed this round into network-input
   // rows, applying the sequence-level dB conversion and min-max
@@ -537,64 +791,150 @@ void StreamingHarService::process_round(Shard& sh, std::size_t n_claims) {
   }
 }
 
+// A clean frame lifts its stream's consecutive-fault streak (and any
+// suspension). Called once per surviving frame/job, under the stream's
+// hand-off mutex; cheap enough for the hot path, and keeping it
+// unconditional avoids an unguarded racy pre-check of guarded state.
+void StreamingHarService::clear_stream_fault_streak(Stream* s) {
+  MutexLock lk(s->mu);
+  if (s->consecutive_faults != 0 || s->suspended) {
+    s->consecutive_faults = 0;
+    s->suspended = false;
+  }
+}
+
 // Cross-stream micro-batched CNN-LSTM forward over every window that
 // completed this cycle — one infer_forward per model version with jobs.
 // With a single registered model the gather is skipped and the whole
 // cycle goes through one call; either way each output row's arithmetic is
 // independent of batch composition, so grouping by model cannot change
 // any stream's logits.
+//
+// Containment: an injected serving.infer_fail (one draw per job row) or
+// an mmhar::Error escaping the fused forward degrades the cycle to
+// per-row batch-1 reruns — row arithmetic is batch-composition
+// independent, so every surviving row's logits are bit-identical to the
+// fused result and only the faulty rows are sacrificed (job_dead,
+// StreamStats::errors). Rows whose logits come back non-finite are
+// sacrificed the same way instead of tearing the process down.
 void StreamingHarService::run_inference(Shard& sh) {
   const dsp::HeatmapConfig& hm = config_.heatmap;
   const std::size_t wlen =
       window_frames_ * hm.range_bins * hm.angle_bins;
   MMHAR_CHECK(sh.logits.size() >= sh.n_jobs * num_classes_);
-  if (models_.size() == 1) {
-    har::infer_forward(models_.plan(0), sh.scratch, sh.net_input.data(),
-                       sh.n_jobs, sh.logits.data());
-  } else {
-    for (std::size_t m = 0; m < models_.size(); ++m) {
-      std::size_t rows = 0;
-      for (std::size_t j = 0; j < sh.n_jobs; ++j) {
-        if (sh.jobs[j].model != m) continue;
-        sh.model_rows[rows] = j;
-        std::copy(sh.net_input.begin() + static_cast<std::ptrdiff_t>(j * wlen),
-                  sh.net_input.begin() +
-                      static_cast<std::ptrdiff_t>((j + 1) * wlen),
-                  sh.model_input.begin() +
-                      static_cast<std::ptrdiff_t>(rows * wlen));
-        ++rows;
+  MMHAR_CHECK(sh.job_dead.size() >= sh.n_jobs);
+  std::fill_n(sh.job_dead.begin(), sh.n_jobs, std::uint8_t{0});
+
+  bool degraded = false;
+  if (fault_injection_armed()) {
+    for (std::size_t j = 0; j < sh.n_jobs; ++j) {
+      // Armed-only cold path (see quarantine_claims).
+      // mmhar-rtcheck: allow(calls)
+      if (fault_should_fire("serving.infer_fail")) {
+        sh.job_dead[j] = 1;
+        degraded = true;
+        record_stream_fault(sh, sh.jobs[j].stream, /*quarantine=*/false);
       }
-      if (rows == 0) continue;
-      har::infer_forward(models_.plan(m), sh.scratch, sh.model_input.data(),
-                         rows, sh.model_logits.data());
-      for (std::size_t r = 0; r < rows; ++r)
-        std::copy(sh.model_logits.begin() +
-                      static_cast<std::ptrdiff_t>(r * num_classes_),
-                  sh.model_logits.begin() +
-                      static_cast<std::ptrdiff_t>((r + 1) * num_classes_),
-                  sh.logits.begin() + static_cast<std::ptrdiff_t>(
-                                          sh.model_rows[r] * num_classes_));
     }
   }
-  check_finite(
-      std::span<const float>(sh.logits.data(), sh.n_jobs * num_classes_),
-      "logits", "serving/post-forward");
+
+  if (!degraded) {
+    try {
+      if (models_.size() == 1) {
+        har::infer_forward(models_.plan(0), sh.scratch, sh.net_input.data(),
+                           sh.n_jobs, sh.logits.data());
+      } else {
+        for (std::size_t m = 0; m < models_.size(); ++m) {
+          std::size_t rows = 0;
+          for (std::size_t j = 0; j < sh.n_jobs; ++j) {
+            if (sh.jobs[j].model != m) continue;
+            sh.model_rows[rows] = j;
+            std::copy(
+                sh.net_input.begin() + static_cast<std::ptrdiff_t>(j * wlen),
+                sh.net_input.begin() +
+                    static_cast<std::ptrdiff_t>((j + 1) * wlen),
+                sh.model_input.begin() +
+                    static_cast<std::ptrdiff_t>(rows * wlen));
+            ++rows;
+          }
+          if (rows == 0) continue;
+          har::infer_forward(models_.plan(m), sh.scratch,
+                             sh.model_input.data(), rows,
+                             sh.model_logits.data());
+          for (std::size_t r = 0; r < rows; ++r)
+            std::copy(sh.model_logits.begin() +
+                          static_cast<std::ptrdiff_t>(r * num_classes_),
+                      sh.model_logits.begin() +
+                          static_cast<std::ptrdiff_t>((r + 1) * num_classes_),
+                      sh.logits.begin() +
+                          static_cast<std::ptrdiff_t>(sh.model_rows[r] *
+                                                      num_classes_));
+        }
+      }
+    } catch (const Error&) {
+      degraded = true;
+    }
+  }
+
+  if (degraded) {
+    for (std::size_t j = 0; j < sh.n_jobs; ++j) {
+      if (sh.job_dead[j] != 0) continue;
+      MMHAR_CHECK((j + 1) * wlen <= sh.net_input.size() &&
+                  (j + 1) * num_classes_ <= sh.logits.size());
+      try {
+        har::infer_forward(models_.plan(sh.jobs[j].model), sh.scratch,
+                           sh.net_input.data() + j * wlen, 1,
+                           sh.logits.data() + j * num_classes_);
+      } catch (const Error&) {
+        sh.job_dead[j] = 1;
+        record_stream_fault(sh, sh.jobs[j].stream, /*quarantine=*/false);
+      }
+    }
+  }
+
+  // Post-forward tripwire (what used to be a fatal whole-batch
+  // check_finite): per-row, non-throwing, attributed per stream.
+  if (finite_checks_enabled()) {
+    for (std::size_t j = 0; j < sh.n_jobs; ++j) {
+      if (sh.job_dead[j] != 0) continue;
+      MMHAR_CHECK((j + 1) * num_classes_ <= sh.logits.size());
+      const FiniteScan scan = detail::scan_finite(
+          sh.logits.data() + j * num_classes_, num_classes_);
+      const bool storm =
+          scan.denormal_count >= kDenormalStormMinCount &&
+          static_cast<double>(scan.denormal_count) >
+              kDenormalStormFraction * static_cast<double>(num_classes_);
+      if (scan.has_nan_or_inf() || storm) {
+        sh.job_dead[j] = 1;
+        record_stream_fault(sh, sh.jobs[j].stream, /*quarantine=*/false);
+      }
+    }
+  }
+
+  for (std::size_t j = 0; j < sh.n_jobs; ++j)
+    if (sh.job_dead[j] == 0) clear_stream_fault_streak(sh.jobs[j].stream);
 }
 
 // Publish the cycle's classifications into their streams' result rings.
 // Under deadline scheduling a result that is already past its newest
 // frame's deadline is discarded instead of delivered — a late answer is
 // useless to the consumer, and delivering it would hide the overload the
-// SLO exists to surface. Returns the number actually published.
-std::size_t StreamingHarService::publish_results(Shard& sh) {
+// SLO exists to surface (those land in *expired). Rows sacrificed by
+// fault containment were already attributed in run_inference and are
+// simply skipped. Returns the number actually published.
+std::size_t StreamingHarService::publish_results(Shard& sh,
+                                                 std::size_t* expired) {
   const Clock::time_point now = Clock::now();
+  *expired = 0;
   std::size_t published = 0;
   for (std::size_t j = 0; j < sh.n_jobs; ++j) {
     const Shard::Job& job = sh.jobs[j];
     Stream* s = job.stream;
+    if (sh.job_dead[j] != 0) continue;
     if (deadline_enabled_ && now > job.arrival + deadline_budget_) {
       MutexLock lk(s->mu);
       ++s->deadline_dropped;
+      ++*expired;
       continue;
     }
     MMHAR_CHECK((j + 1) * num_classes_ <= sh.logits.size());
@@ -641,30 +981,39 @@ std::size_t StreamingHarService::run_shard_cycle(std::size_t shard) {
   }
   sh.n_jobs = 0;
 
-  // Claim until the batch budget is spent; deadline-expired frames count
-  // against the budget too (their removal is the cycle's work product as
-  // much as a classification is, and the bound keeps a flood of stale
-  // frames from pinning the shard in this loop).
+  // Claim until the batch budget is spent; deadline-expired and
+  // suspension-shed frames count against the budget too (their removal
+  // is the cycle's work product as much as a classification is, and the
+  // bound keeps a flood of stale frames from pinning the shard in this
+  // loop). Every claim passes the quarantine scan before it may enter
+  // the fused DSP round.
   std::size_t claimed = 0;
   std::size_t expired = 0;
-  while (claimed + expired < config_.batch_max) {
+  std::size_t shed = 0;
+  while (claimed + expired + shed < config_.batch_max) {
     std::size_t round_expired = 0;
+    std::size_t round_shed = 0;
     const std::size_t got =
-        claim_round(sh, config_.batch_max - claimed - expired,
-                    &round_expired);
+        claim_round(sh, config_.batch_max - claimed - expired - shed,
+                    &round_expired, &round_shed);
     expired += round_expired;
-    if (got == 0 && round_expired == 0) break;
-    if (got > 0) process_round(sh, got);
+    shed += round_shed;
+    if (got == 0 && round_expired == 0 && round_shed == 0) break;
+    if (got > 0) {
+      const std::size_t live = quarantine_claims(sh, got);
+      if (live > 0) process_round(sh, live);
+    }
     claimed += got;
   }
 
   std::size_t published = 0;
+  std::size_t publish_expired = 0;
   if (sh.n_jobs > 0) {
     run_inference(sh);
-    published = publish_results(sh);
+    published = publish_results(sh, &publish_expired);
   }
 
-  const std::size_t consumed = claimed + expired;
+  const std::size_t consumed = claimed + expired + shed;
   if (consumed > 0) {
     {
       MutexLock lk(sh.sched.mu);
@@ -673,7 +1022,7 @@ std::size_t StreamingHarService::run_shard_cycle(std::size_t shard) {
     sh.stat_cycles.fetch_add(1, std::memory_order_relaxed);
     sh.stat_frames.fetch_add(claimed, std::memory_order_relaxed);
     sh.stat_classifications.fetch_add(published, std::memory_order_relaxed);
-    sh.stat_deadline_dropped.fetch_add(expired + (sh.n_jobs - published),
+    sh.stat_deadline_dropped.fetch_add(expired + publish_expired,
                                        std::memory_order_relaxed);
   }
   return consumed;
@@ -686,19 +1035,148 @@ std::size_t StreamingHarService::run_cycle() {
   return total;
 }
 
+// Worker loop. Fault-containment duties on top of the claim/cycle work:
+//  * No exception may escape (it would std::terminate the process): an
+//    escaped mmhar::Error — or anything else — marks the shard crashed
+//    and returns; the watchdog restarts it while other shards keep
+//    serving. serving.shard_crash injects exactly that, claim-free by
+//    construction (it fires before any frame is claimed, so no slot is
+//    ever leaked by an injected crash).
+//  * serving.shard_stall parks the worker on its condvar — a model of a
+//    wedged thread at a cancellation point — until a restart or stop()
+//    releases it.
+//  * The condvar wait is timed (kIdlePoll) and a long streak of
+//    zero-consume cycles clamps a positive pending count back to zero:
+//    together they self-heal both directions of a pending count left
+//    stale by a genuine crash mid-cycle (a lost wake costs at most one
+//    poll period; a phantom pending stops burning CPU after the clamp).
 void StreamingHarService::shard_main(std::size_t shard) {
   Shard& sh = *shards_[shard];
+  int zero_streak = 0;
   for (;;) {
     {
       MutexLock lk(sh.sched.mu);
-      while (sh.sched.pending <= 0 && !sh.sched.stop)
-        sh.sched.cv.wait(sh.sched.mu);
+      while (sh.sched.pending <= 0 && !sh.sched.stop) {
+        if (!sh.sched.cv.wait_for(sh.sched.mu, kIdlePoll))
+          break;  // timed out: run a probe cycle in case a wake was lost
+      }
       if (sh.sched.stop) return;
     }
-    // A cycle that consumes nothing means a producer is mid-submit (the
-    // pending increment lands after the enqueue); yield instead of
-    // spinning hot until it does.
-    if (run_shard_cycle(shard) == 0) std::this_thread::yield();
+    sh.heartbeat.fetch_add(1, std::memory_order_relaxed);
+    try {
+      if (fault_injection_armed()) {
+        if (fault_should_fire("serving.shard_crash"))
+          throw Error("fault injection: serving.shard_crash");
+        if (fault_should_fire("serving.shard_stall")) {
+          sh.stalled.store(true, std::memory_order_relaxed);
+          MutexLock lk(sh.sched.mu);
+          while (!sh.sched.stop) sh.sched.cv.wait(sh.sched.mu);
+          return;
+        }
+      }
+      if (run_shard_cycle(shard) == 0) {
+        // A zero-consume cycle usually means a producer is mid-submit
+        // (the pending increment lands after the enqueue); yield instead
+        // of spinning hot. A long streak means the count itself is stale.
+        if (++zero_streak >= kZeroConsumeClamp) {
+          zero_streak = 0;
+          MutexLock lk(sh.sched.mu);
+          if (sh.sched.pending > 0) sh.sched.pending = 0;
+        }
+        std::this_thread::yield();
+      } else {
+        zero_streak = 0;
+      }
+    } catch (...) {
+      // Satellite hazard fix: nothing crosses the thread boundary. The
+      // shard parks; its streams' queued frames wait for the restart.
+      sh.stat_faults.fetch_add(1, std::memory_order_relaxed);
+      sh.crashed.store(true, std::memory_order_release);
+      return;
+    }
+  }
+}
+
+// ---- Supervision (watchdog control plane) ----------------------------------
+
+// One watchdog pass over one shard. `last_heartbeat`/`strikes` are the
+// caller's per-shard memory between passes: a crashed worker restarts
+// immediately; a heartbeat frozen across kStallStrikes passes while work
+// is pending is declared stalled and restarted. A worker busy inside a
+// long cycle keeps its heartbeat frozen too — the restart protocol just
+// joins it after the cycle finishes, so a false positive costs a restart,
+// never lost work.
+void StreamingHarService::supervise_shard(std::size_t shard,
+                                          std::uint64_t* last_heartbeat,
+                                          int* strikes) {
+  Shard& sh = *shards_[shard];
+  if (sh.crashed.load(std::memory_order_acquire)) {
+    restart_shard(shard);
+    *strikes = 0;
+    *last_heartbeat = sh.heartbeat.load(std::memory_order_relaxed);
+    return;
+  }
+  const std::uint64_t hb = sh.heartbeat.load(std::memory_order_relaxed);
+  std::int64_t pending = 0;
+  {
+    MutexLock lk(sh.sched.mu);
+    pending = sh.sched.pending;
+  }
+  if (hb == *last_heartbeat && pending > 0) {
+    if (++*strikes >= kStallStrikes) {
+      sh.stalled.store(true, std::memory_order_relaxed);
+      restart_shard(shard);
+      *strikes = 0;
+    }
+  } else {
+    *strikes = 0;
+    sh.stalled.store(false, std::memory_order_relaxed);
+  }
+  *last_heartbeat = sh.heartbeat.load(std::memory_order_relaxed);
+}
+
+// Restart protocol: stop + join the (possibly already-returned) worker,
+// reset the shard's cycle arenas — per-stream state (frame rings, result
+// rings, DRAI windows) belongs to the streams and survives untouched —
+// and respawn. Only ever called from the watchdog thread, which stop()
+// joins before touching any worker, so the std::thread object has exactly
+// one owner at a time.
+void StreamingHarService::restart_shard(std::size_t shard) {
+  Shard& sh = *shards_[shard];
+  {
+    MutexLock lk(sh.sched.mu);
+    sh.sched.stop = true;
+    sh.sched.cv.notify_all();
+  }
+  if (sh.worker.joinable()) sh.worker.join();
+  sh.n_jobs = 0;
+  sh.n_cycle_streams = 0;
+  sh.rr = 0;
+  sh.crashed.store(false, std::memory_order_relaxed);
+  sh.stalled.store(false, std::memory_order_relaxed);
+  sh.stat_restarts.fetch_add(1, std::memory_order_relaxed);
+  {
+    MutexLock lk(sh.sched.mu);
+    sh.sched.stop = false;
+  }
+  sh.worker = std::thread([this, shard] { shard_main(shard); });
+}
+
+void StreamingHarService::watchdog_main() {
+  const std::chrono::milliseconds period(config_.watchdog_ms);
+  // Cold control plane: these two vectors are the watchdog's entire
+  // working set, allocated once before the first pass.
+  std::vector<std::uint64_t> last(shards_.size(), 0);
+  std::vector<int> strikes(shards_.size(), 0);
+  for (;;) {
+    {
+      MutexLock lk(watchdog_->mu);
+      if (watchdog_->stop) return;
+      watchdog_->cv.wait_for(watchdog_->mu, period);
+      if (watchdog_->stop) return;
+    }
+    for (std::size_t i = 0; i < shards_.size(); ++i)
+      supervise_shard(i, &last[i], &strikes[i]);
   }
 }
 
@@ -710,17 +1188,37 @@ void StreamingHarService::start() {
   }
   for (std::size_t i = 0; i < shards_.size(); ++i)
     shards_[i]->worker = std::thread([this, i] { shard_main(i); });
+  if (config_.watchdog_ms > 0) {
+    {
+      MutexLock lk(watchdog_->mu);
+      watchdog_->stop = false;
+    }
+    watchdog_thread_ = std::thread([this] { watchdog_main(); });
+    watchdog_running_.store(true, std::memory_order_relaxed);
+  }
   started_ = true;
 }
 
 void StreamingHarService::stop() {
   if (!started_) return;
+  // The watchdog goes first so no restart races the worker joins below.
+  if (watchdog_thread_.joinable()) {
+    {
+      MutexLock lk(watchdog_->mu);
+      watchdog_->stop = true;
+      watchdog_->cv.notify_all();
+    }
+    watchdog_thread_.join();
+    watchdog_running_.store(false, std::memory_order_relaxed);
+  }
   for (std::unique_ptr<Shard>& sh : shards_) {
     MutexLock lk(sh->sched.mu);
     sh->sched.stop = true;
     sh->sched.cv.notify_all();
   }
-  for (std::unique_ptr<Shard>& sh : shards_) sh->worker.join();
+  for (std::unique_ptr<Shard>& sh : shards_) {
+    if (sh->worker.joinable()) sh->worker.join();
+  }
   started_ = false;
 }
 

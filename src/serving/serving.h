@@ -69,8 +69,34 @@
 // dropped) and accepts the new one; DropPolicy::kNewest rejects the new
 // frame. Either way memory stays bounded and the per-stream drop/reject/
 // deadline counters expose the overload instead of hiding it.
+//
+// Fault containment (DESIGN.md §6c): a poisoned frame, a failing
+// inference row, or a dying shard worker is a per-stream (or per-shard)
+// event, never process death.
+//   * Quarantine — every claimed frame is scanned at the claim boundary;
+//     a non-finite payload is dropped and counted in
+//     StreamStats::quarantined before it can reach the fused DSP.
+//   * Degradation — mmhar::Error at a DSP or inference boundary falls
+//     back to per-frame / per-row (batch-1) reruns, so only the faulty
+//     row is sacrificed (counted in StreamStats::errors); per-lane FFT
+//     and per-row GEMM arithmetic is batch-composition independent, so
+//     every surviving stream's logits stay bit-identical to a fault-free
+//     run. A stream exceeding max_stream_faults consecutive faults is
+//     suspended: its backlog is shed (suspended_dropped) and only one
+//     recovery-probe frame per cycle is processed until a frame succeeds.
+//   * Supervision — shard_main lets no exception escape (a crash marks
+//     the shard and parks it); when watchdog_ms > 0 a watchdog thread
+//     compares per-shard heartbeat epochs against pending work, restarts
+//     crashed or stalled workers with an arena reset while the other
+//     shards keep serving, and the whole story is snapshotted by
+//     health(). Fault-injection sites serving.frame_poison /
+//     serving.infer_fail / serving.shard_stall / serving.shard_crash
+//     (common/fault_injection.h) drive every one of these paths
+//     deterministically in tests; disarmed, they cost one relaxed atomic
+//     load and the zero-allocation steady state is unchanged.
 #pragma once
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 #include <cstdint>
@@ -111,6 +137,19 @@ struct ServingConfig {
   /// StreamStats::deadline_dropped).
   long slo_ms = 0;
 
+  /// Consecutive contained faults (quarantines + errors) a stream may
+  /// accumulate before it is suspended; 0 never suspends. A suspended
+  /// stream sheds its queued backlog and processes one recovery-probe
+  /// frame per cycle; the first clean frame lifts the suspension.
+  std::size_t max_stream_faults = 3;
+
+  /// Shard-supervision watchdog cadence in milliseconds; 0 (default)
+  /// disables supervision entirely (no watchdog thread). When enabled,
+  /// a worker whose heartbeat freezes while work is pending, or that
+  /// died containing an escaped exception, is restarted with its cycle
+  /// arenas reset while the other shards keep serving.
+  long watchdog_ms = 0;
+
   // Radar frame geometry every stream must honor.
   std::size_t num_chirps = 16;
   std::size_t num_antennas = 16;
@@ -123,7 +162,8 @@ struct ServingConfig {
   dsp::HeatmapConfig heatmap;
 
   /// Defaults overridden by MMHAR_SERVING_BATCH / _QUEUE_DEPTH /
-  /// _DROP_POLICY ("oldest" | "newest") / _SHARDS / _SLO_MS.
+  /// _DROP_POLICY ("oldest" | "newest") / _SHARDS / _SLO_MS /
+  /// _MAX_STREAM_FAULTS / _WATCHDOG_MS.
   static ServingConfig from_env();
 };
 
@@ -145,6 +185,11 @@ struct StreamStats {
   std::uint64_t deepest_queue = 0;     ///< frame-ring occupancy high-watermark
   std::uint64_t classifications = 0;   ///< results produced
   std::uint64_t dropped_results = 0;   ///< results evicted from a full ring
+  std::uint64_t quarantined = 0;       ///< non-finite frames dropped at claim
+  std::uint64_t errors = 0;            ///< contained DSP/inference faults
+  std::uint64_t suspended_dropped = 0; ///< backlog shed while suspended
+  std::uint64_t suspensions = 0;       ///< times the stream entered suspension
+  bool suspended = false;              ///< currently suspended (probing)
 };
 
 /// Monotonic per-shard counters (snapshot; relaxed reads of the shard
@@ -154,6 +199,28 @@ struct ShardStats {
   std::uint64_t frames = 0;            ///< frames claimed and processed
   std::uint64_t classifications = 0;   ///< results published
   std::uint64_t deadline_dropped = 0;  ///< deadline drops (claim + publish)
+};
+
+/// Supervision snapshot for one shard (see ServiceHealth).
+struct ShardHealth {
+  bool crashed = false;       ///< worker died containing an exception and
+                              ///< awaits a watchdog restart
+  bool stalled = false;       ///< watchdog saw a frozen heartbeat with
+                              ///< work pending (cleared on progress)
+  std::uint64_t heartbeat = 0;  ///< wake-up epochs of the worker loop
+  std::uint64_t restarts = 0;   ///< supervised worker restarts
+  std::uint64_t faults = 0;     ///< contained faults observed by this shard
+};
+
+/// Whole-service fault/supervision snapshot (cold path: allocates the
+/// per-shard vector; not for the serving hot loop).
+struct ServiceHealth {
+  bool watchdog_running = false;
+  std::uint64_t quarantined = 0;        ///< sum of StreamStats::quarantined
+  std::uint64_t errors = 0;             ///< sum of StreamStats::errors
+  std::uint64_t restarts = 0;           ///< sum of ShardHealth::restarts
+  std::size_t suspended_streams = 0;    ///< streams currently suspended
+  std::vector<ShardHealth> shards;
 };
 
 class StreamingHarService {
@@ -197,11 +264,18 @@ class StreamingHarService {
   StreamStats stream_stats(std::size_t stream) const MMHAR_REALTIME_HANDOFF;
   ShardStats shard_stats(std::size_t shard) const;
 
-  /// Spawn one background worker per shard. start/stop/run_cycle must be
-  /// sequenced by the owner (single controlling thread).
+  /// Fault/supervision snapshot: per-shard crash/stall/heartbeat/restart
+  /// state plus service-wide quarantine, error, and suspension totals.
+  /// Thread-safe, cold path (allocates the result vector).
+  ServiceHealth health() const;
+
+  /// Spawn one background worker per shard, plus the supervision
+  /// watchdog when config().watchdog_ms > 0. start/stop/run_cycle must
+  /// be sequenced by the owner (single controlling thread).
   void start();
 
-  /// Ask every shard worker to exit and join them. Idempotent.
+  /// Ask the watchdog and every shard worker to exit and join them.
+  /// Idempotent.
   void stop();
 
   /// Run one cycle of every shard on the calling thread, in shard order.
@@ -231,11 +305,23 @@ class StreamingHarService {
   // outside the real-time region that starts once work exists.
   Stream* stream_ptr(std::size_t idx) const MMHAR_REALTIME_HANDOFF;
   void shard_main(std::size_t shard);
-  std::size_t claim_round(Shard& sh, std::size_t budget,
-                          std::size_t* expired) MMHAR_REALTIME_HANDOFF;
+  std::size_t claim_round(Shard& sh, std::size_t budget, std::size_t* expired,
+                          std::size_t* shed) MMHAR_REALTIME_HANDOFF;
+  std::size_t quarantine_claims(Shard& sh,
+                                std::size_t n_claims) MMHAR_REALTIME_HANDOFF;
+  void record_stream_fault(Shard& sh, Stream* s,
+                           bool quarantine) MMHAR_REALTIME_HANDOFF;
+  void clear_stream_fault_streak(Stream* s) MMHAR_REALTIME_HANDOFF;
   void process_round(Shard& sh, std::size_t n_claims) MMHAR_REALTIME_HANDOFF;
   void run_inference(Shard& sh) MMHAR_REALTIME_HANDOFF;
-  std::size_t publish_results(Shard& sh) MMHAR_REALTIME_HANDOFF;
+  std::size_t publish_results(Shard& sh,
+                              std::size_t* expired) MMHAR_REALTIME_HANDOFF;
+
+  // Supervision (cold control plane; none of it runs on the hot path).
+  void watchdog_main();
+  void supervise_shard(std::size_t shard, std::uint64_t* last_heartbeat,
+                       int* strikes);
+  void restart_shard(std::size_t shard);
 
   ServingConfig config_;
   std::size_t window_frames_ = 0;   ///< T, from the model config
@@ -256,6 +342,14 @@ class StreamingHarService {
   // element storage never moves; Stream objects are heap-stable.
   struct Registry;
   std::unique_ptr<Registry> registry_;
+
+  // Watchdog wake-up state + thread. The watchdog is joined before the
+  // shard workers in stop(), so restart_shard (watchdog thread) and
+  // stop() (owner thread) never touch a shard's std::thread concurrently.
+  struct WatchdogState;
+  std::unique_ptr<WatchdogState> watchdog_;
+  std::thread watchdog_thread_;
+  std::atomic<bool> watchdog_running_{false};
 
   bool started_ = false;  ///< owner-thread state, not shared
 };
