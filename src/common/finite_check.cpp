@@ -18,7 +18,12 @@ namespace {
 std::atomic<int> g_forced{-1};
 
 bool env_enabled() {
+  // Magic static: the knob is read exactly once, before any pipeline
+  // output exists, and frozen for the process lifetime — equivalent to a
+  // startup read passed down. It gates whether checks run, never what
+  // they compute.
   static const bool enabled =
+      // MMHAR_DETCHECK_ALLOW(env-read)
       env_int("MMHAR_FINITE_CHECKS", MMHAR_FINITE_CHECKS_DEFAULT) != 0;
   return enabled;
 }

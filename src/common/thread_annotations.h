@@ -121,3 +121,14 @@
 #define MMHAR_REALTIME          // no-op: checked textually by mmhar_rtcheck
 #define MMHAR_REALTIME_HANDOFF  // no-op: checked textually by mmhar_rtcheck
 #endif
+
+// MMHAR_DETERMINISTIC marks a determinism root: every function reachable
+// from it must be bit-reproducible run to run (no hash-order iteration, no
+// clock/rand/thread-id/address-derived values, no racy parallel
+// reductions, no post-startup env reads). Checked transitively over the
+// whole-repo call graph by tools/mmhar_detcheck; the required root set is
+// pinned in tools/detcheck_roots.txt. Unlike MMHAR_REALTIME it never maps
+// to a compiler attribute — there is no hardware/compiler notion of
+// determinism to hand the claim to — so it is unconditionally empty and
+// may appear anywhere in a declaration, including before `override`.
+#define MMHAR_DETERMINISTIC  // no-op: checked textually by mmhar_detcheck

@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <cmath>
-#include <unordered_map>
+#include <cstdint>
+#include <utility>
+#include <vector>
 
 #include "common/env.h"
 #include "common/logging.h"
@@ -110,12 +112,26 @@ PoisonResult poison_dataset(const har::Dataset& train,
                 "victim and target must differ");
   MMHAR_REQUIRE(!frames.empty(), "no poisoning frames chosen");
 
-  // Index twins by their spec identity.
-  std::unordered_map<std::uint64_t, const har::Sample*> twin_by_spec;
+  // Index twins by their spec identity. A sorted vector, not a hash map:
+  // the former unordered_map was lookup-only (so hash order never leaked
+  // into a result), but a sorted index keeps it that way by construction —
+  // there is no iteration order for a future change to depend on, and
+  // mmhar_detcheck's unordered-iter rule has nothing to police here.
+  std::vector<std::pair<std::uint64_t, const har::Sample*>> twin_by_spec;
+  twin_by_spec.reserve(triggered_twins.size());
   for (std::size_t i = 0; i < triggered_twins.size(); ++i) {
     const auto& t = triggered_twins.sample(i);
-    twin_by_spec[t.spec.stream_seed()] = &t;
+    twin_by_spec.emplace_back(t.spec.stream_seed(), &t);
   }
+  std::sort(twin_by_spec.begin(), twin_by_spec.end());
+  const auto find_twin = [&twin_by_spec](std::uint64_t seed) {
+    const auto it = std::lower_bound(
+        twin_by_spec.begin(), twin_by_spec.end(), seed,
+        [](const auto& entry, std::uint64_t key) { return entry.first < key; });
+    return it != twin_by_spec.end() && it->first == seed
+               ? it->second
+               : static_cast<const har::Sample*>(nullptr);
+  };
 
   PoisonResult result;
   result.dataset = train;
@@ -135,11 +151,11 @@ PoisonResult poison_dataset(const har::Dataset& train,
 
   for (const std::size_t vi : chosen) {
     har::Sample& s = result.dataset.sample(victims[vi]);
-    const auto it = twin_by_spec.find(s.spec.stream_seed());
-    MMHAR_CHECK_MSG(it != twin_by_spec.end(),
+    const har::Sample* twin_ptr = find_twin(s.spec.stream_seed());
+    MMHAR_CHECK_MSG(twin_ptr != nullptr,
                     "no triggered twin for a victim sample — twin grid must "
                     "match the training grid");
-    const har::Sample& twin = *it->second;
+    const har::Sample& twin = *twin_ptr;
     // Splice the chosen frames from the twin.
     for (const std::size_t f : frames) {
       MMHAR_CHECK(f < shape[0]);

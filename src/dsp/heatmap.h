@@ -142,10 +142,14 @@ std::vector<RangeSpectra> compute_range_spectra(
 /// Process a whole activity (sequence of frames) into DRAI heatmaps:
 /// returns a [frames x range_bins x angle_bins] tensor.
 Tensor compute_drai_sequence(const std::vector<RadarCube>& frames,
-                             const HeatmapConfig& cfg);
+                             const HeatmapConfig& cfg) MMHAR_DETERMINISTIC;
 
 /// Spectra-reuse form of compute_drai_sequence (frames already through the
-/// Range-FFT stage).
+/// Range-FFT stage). Shares the MMHAR_DETERMINISTIC root above: detcheck
+/// unions annotations across declarations by qualified name, so both
+/// overload definitions are checked from the single annotated declaration
+/// (annotating both would give the per-site annotation-deletion property a
+/// blind spot — either site alone would keep the other covered).
 Tensor compute_drai_sequence(const std::vector<RangeSpectra>& frames,
                              const HeatmapConfig& cfg);
 

@@ -83,6 +83,6 @@ struct InferenceScratch {
 /// was built from.
 void infer_forward(const InferencePlan& plan, InferenceScratch& scratch,
                    const float* input, std::size_t batch,
-                   float* logits) MMHAR_REALTIME;
+                   float* logits) MMHAR_REALTIME MMHAR_DETERMINISTIC;
 
 }  // namespace mmhar::har

@@ -1,6 +1,7 @@
 // Mini-batch training and evaluation for the HAR model.
 #pragma once
 
+#include "common/thread_annotations.h"
 #include "har/dataset.h"
 #include "har/metrics.h"
 #include "har/model.h"
@@ -52,7 +53,7 @@ struct TrainHistory {
 /// Train in place with Adam + gradient clipping. Deterministic given the
 /// config seed and the model's initialization seed.
 TrainHistory train_model(HarModel& model, const Dataset& train,
-                         const TrainConfig& config);
+                         const TrainConfig& config) MMHAR_DETERMINISTIC;
 
 /// Top-1 accuracy over a dataset (batched inference).
 float evaluate_accuracy(HarModel& model, const Dataset& dataset);

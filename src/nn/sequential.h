@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/finite_check.h"
+#include "common/thread_annotations.h"
 #include "nn/layer.h"
 
 namespace mmhar::nn {
@@ -32,7 +33,8 @@ class Sequential : public Layer {
     return *layers_[i];
   }
 
-  Tensor forward(const Tensor& input, bool training) override {
+  Tensor forward(const Tensor& input, bool training) MMHAR_DETERMINISTIC
+      override {
     Tensor x = input;
     for (auto& l : layers_) {
       x = l->forward(x, training);
@@ -42,7 +44,7 @@ class Sequential : public Layer {
     return x;
   }
 
-  Tensor backward(const Tensor& grad_output) override {
+  Tensor backward(const Tensor& grad_output) MMHAR_DETERMINISTIC override {
     Tensor g = grad_output;
     for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
       g = (*it)->backward(g);

@@ -32,6 +32,7 @@
 #include <vector>
 
 #include "common/rng.h"
+#include "common/thread_annotations.h"
 #include "dsp/heatmap.h"
 #include "mesh/trimesh.h"
 #include "radar/fmcw.h"
@@ -73,7 +74,7 @@ class Simulator {
   /// Synthesize one frame of IF samples from explicit scatterers.
   /// `rng` (optional) adds complex AWGN of std config.noise_std.
   dsp::RadarCube synthesize(const std::vector<Scatterer>& scatterers,
-                            Rng* rng = nullptr) const;
+                            Rng* rng = nullptr) const MMHAR_DETERMINISTIC;
 
   /// Convenience: scatterer extraction + synthesis for one scene frame.
   dsp::RadarCube simulate_frame(const SceneFrame& frame,
@@ -87,7 +88,7 @@ class Simulator {
   std::vector<dsp::RadarCube> simulate_sequence(
       const std::vector<mesh::TriMesh>& dynamic_frames,
       const mesh::TriMesh* static_mesh, double frame_dt,
-      Rng* rng = nullptr) const;
+      Rng* rng = nullptr) const MMHAR_DETERMINISTIC;
 
  private:
   FmcwConfig config_;

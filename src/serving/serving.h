@@ -312,8 +312,9 @@ class StreamingHarService {
   void record_stream_fault(Shard& sh, Stream* s,
                            bool quarantine) MMHAR_REALTIME_HANDOFF;
   void clear_stream_fault_streak(Stream* s) MMHAR_REALTIME_HANDOFF;
-  void process_round(Shard& sh, std::size_t n_claims) MMHAR_REALTIME_HANDOFF;
-  void run_inference(Shard& sh) MMHAR_REALTIME_HANDOFF;
+  void process_round(Shard& sh, std::size_t n_claims) MMHAR_REALTIME_HANDOFF
+      MMHAR_DETERMINISTIC;
+  void run_inference(Shard& sh) MMHAR_REALTIME_HANDOFF MMHAR_DETERMINISTIC;
   std::size_t publish_results(Shard& sh,
                               std::size_t* expired) MMHAR_REALTIME_HANDOFF;
 

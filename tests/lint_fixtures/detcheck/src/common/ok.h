@@ -1,0 +1,2 @@
+#pragma once
+// Same-module include target for the layering fixture (legal edge).

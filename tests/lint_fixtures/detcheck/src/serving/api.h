@@ -1,0 +1,5 @@
+#pragma once
+// Upward-include target for the layering fixture. Its own include of
+// common/ (rank 0 from rank 6) is the legal downward direction and must
+// stay silent.
+#include "common/ok.h"

@@ -1,10 +1,11 @@
-// End-to-end tests for the static-analysis toolchain: mmhar_lint and
-// mmhar_analyze are run as real subprocesses against the seeded fixture
-// trees under tests/lint_fixtures/, and the exact (rule, file, line)
-// findings are asserted.  The binaries and repo root are injected by
-// tests/CMakeLists.txt via MMHAR_LINT_BIN / MMHAR_ANALYZE_BIN /
-// MMHAR_REPO_ROOT so the test works from any build directory and under
-// every sanitizer leg.
+// End-to-end tests for the static-analysis toolchain: mmhar_lint,
+// mmhar_analyze, and mmhar_detcheck are run as real subprocesses against
+// the seeded fixture trees under tests/lint_fixtures/, and the exact
+// (rule, file, line) findings are asserted.  The binaries and repo root
+// are injected by tests/CMakeLists.txt via MMHAR_LINT_BIN /
+// MMHAR_ANALYZE_BIN / MMHAR_DETCHECK_BIN / MMHAR_REPO_ROOT so the test
+// works from any build directory and under every sanitizer leg.
+// (mmhar_rtcheck has its own suite, tests/test_rtcheck.cpp.)
 
 #include <gtest/gtest.h>
 
@@ -12,6 +13,7 @@
 
 #include <array>
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
@@ -46,9 +48,11 @@ std::string q(const fs::path& p) { return "\"" + p.string() + "\""; }
 const fs::path kRoot = MMHAR_REPO_ROOT;
 const std::string kLint = std::string("\"") + MMHAR_LINT_BIN + "\"";
 const std::string kAnalyze = std::string("\"") + MMHAR_ANALYZE_BIN + "\"";
+const std::string kDetcheck = std::string("\"") + MMHAR_DETCHECK_BIN + "\"";
 
 const fs::path kLintFixture = kRoot / "tests" / "lint_fixtures" / "lint" / "src";
 const fs::path kAnalyzeFixture = kRoot / "tests" / "lint_fixtures" / "analyze";
+const fs::path kDetcheckFixture = kRoot / "tests" / "lint_fixtures" / "detcheck";
 
 fs::path scratch_dir() {
   const fs::path d = fs::temp_directory_path() / "mmhar_static_analysis_test";
@@ -77,7 +81,6 @@ const std::string kLintFixtureBaseline =
     "missing-pragma-once src/bad_header.h 1\n"
     "naked-alloc src/bad.cpp 1\n"
     "naked-cache-write src/bad.cpp 1\n"
-    "parallel-ref-accum src/bad.cpp 1\n"
     "unchecked-data-arith src/bad.cpp 1\n";
 
 TEST(LintFixtures, FindsEverySeededViolationAtExactLines) {
@@ -89,16 +92,25 @@ TEST(LintFixtures, FindsEverySeededViolationAtExactLines) {
       "src/bad.cpp:16: [unchecked-data-arith]",
       "src/bad.cpp:18: [loop-alloc]",
       "src/bad.cpp:21: [naked-cache-write]",
-      "src/bad.cpp:28: [parallel-ref-accum]",
       "src/bad_header.h:1: [missing-pragma-once]",
   };
   for (const char* e : expected)
     EXPECT_NE(r.output.find(e), std::string::npos) << "missing finding: " << e
                                                    << "\n" << r.output;
-  EXPECT_NE(r.output.find("scanned 3 file(s), 7 violation(s) (0 baselined)"),
+  EXPECT_NE(r.output.find("scanned 3 file(s), 6 violation(s) (0 baselined)"),
             std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+TEST(LintFixtures, ParallelRefAccumIsRetired) {
+  // bad.cpp:28 still seeds the shared-accumulator pattern, but the rule
+  // moved to mmhar_detcheck (parallel-accum) in PR 10; mmhar_lint must no
+  // longer report it. DetcheckFixtures.FindsEverySeededViolationAtExactLines
+  // proves the successor rule still catches the same pattern.
+  const RunResult r = run(kLint + " " + q(kLintFixture));
+  EXPECT_EQ(r.output.find("parallel-ref-accum"), std::string::npos)
+      << r.output;
 }
 
 TEST(LintFixtures, AllowCommentSilencesTheRule) {
@@ -130,7 +142,7 @@ TEST(LintFixtures, BaselineWaivesExactCounts) {
   const RunResult r = run(kLint + " " + q(kLintFixture) + " --baseline " +
                           q(base) + " --allow-baseline");
   EXPECT_EQ(r.exit_code, 0) << r.output;
-  EXPECT_NE(r.output.find("scanned 3 file(s), 7 violation(s) (7 baselined)"),
+  EXPECT_NE(r.output.find("scanned 3 file(s), 6 violation(s) (6 baselined)"),
             std::string::npos)
       << r.output;
   EXPECT_NE(r.output.find("OK"), std::string::npos) << r.output;
@@ -138,7 +150,7 @@ TEST(LintFixtures, BaselineWaivesExactCounts) {
 
 TEST(LintFixtures, CountAboveBaselineFails) {
   // Same baseline minus the banned-rng row: that one finding is now new
-  // debt and must fail the run even though six others stay waived.
+  // debt and must fail the run even though five others stay waived.
   std::string rows = kLintFixtureBaseline;
   const std::string drop = "banned-rng src/bad.cpp 1\n";
   const auto pos = rows.find(drop);
@@ -153,7 +165,7 @@ TEST(LintFixtures, CountAboveBaselineFails) {
       r.output.find("rule 'banned-rng': 1 violation(s), baseline allows 0"),
       std::string::npos)
       << r.output;
-  EXPECT_NE(r.output.find("(6 baselined)"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("(5 baselined)"), std::string::npos) << r.output;
 }
 
 TEST(LintFixtures, ShrunkCountPrintsTightenNote) {
@@ -182,7 +194,7 @@ TEST(LintFixtures, UpdateBaselineWritesCurrentCounts) {
                           q(base) + " --update-baseline");
   EXPECT_EQ(w.exit_code, 0) << w.output;
   EXPECT_NE(w.output.find(
-                "baseline rewritten with 7 violation(s) across 7 (rule, file) pair(s)"),
+                "baseline rewritten with 6 violation(s) across 6 (rule, file) pair(s)"),
             std::string::npos)
       << w.output;
   const std::string written = read_file(base);
@@ -294,6 +306,172 @@ TEST(AnalyzeRealTree, ServingKnobsAreRegisteredAndDocumented) {
     EXPECT_NE(readme.find(std::string("`") + knob + "`"), std::string::npos)
         << knob << " is missing from the README env table";
   }
+}
+
+TEST(DetcheckFixtures, FindsEverySeededViolationAtExactLines) {
+  const fs::path roots = kDetcheckFixture / "roots.txt";
+  const RunResult r = run(kDetcheck + " --roots " + q(roots) + " " +
+                          q(kDetcheckFixture / "src"));
+  EXPECT_EQ(r.exit_code, 1) << r.output;
+  const std::vector<std::string> expected = {
+      "src/common/bad_layer.h:5: [layering] include of \"serving/api.h\"",
+      "src/det_bad.cpp:10: [nondet-call] C rand-family call",
+      "chain: fixture::det_transitive -> fixture::transitive_mid -> "
+      "fixture::helper_nondet",
+      "src/det_bad.cpp:20: [unordered-iter] 'table' is an unordered container",
+      "src/det_bad.cpp:21: [unordered-iter] 'table' is an unordered container",
+      "src/det_bad.cpp:27: [nondet-call] clock read",
+      "src/det_bad.cpp:32: [env-read] 'MMHAR_FIXTURE_KNOB' is read inside the "
+      "deterministic pipeline",
+      "src/det_bad.cpp:38: [parallel-accum] 'sum' is compound-assigned inside "
+      "a parallel_for [&] lambda",
+      "src/det_bad.cpp:48: [root-coverage] required root "
+      "'fixture::lost_annotation' has lost its MMHAR_DETERMINISTIC annotation",
+      roots.string() + ":6: [root-coverage] required root "
+      "'fixture::renamed_root' names no function",
+  };
+  for (const auto& e : expected)
+    EXPECT_NE(r.output.find(e), std::string::npos) << "missing finding: " << e
+                                                   << "\n" << r.output;
+  EXPECT_NE(r.output.find("mmhar_detcheck: summary files=4 functions=10 "
+                          "roots=6 reachable=8 violations=9 status=fail"),
+            std::string::npos)
+      << r.output;
+  EXPECT_NE(r.output.find("FAIL"), std::string::npos) << r.output;
+}
+
+TEST(DetcheckFixtures, SuppressedUnreachedAndDownwardIncludesStaySilent) {
+  const RunResult r = run(kDetcheck + " --roots " +
+                          q(kDetcheckFixture / "roots.txt") + " " +
+                          q(kDetcheckFixture / "src"));
+  // det_suppressed's rand() at line 45 carries MMHAR_DETCHECK_ALLOW on the
+  // line directly above; never_reached_nondet is outside every root's cone;
+  // serving/api.h includes common/ which is the legal downward direction.
+  EXPECT_EQ(r.output.find("det_bad.cpp:45"), std::string::npos) << r.output;
+  EXPECT_EQ(r.output.find("never_reached_nondet"), std::string::npos)
+      << r.output;
+  EXPECT_EQ(r.output.find("src/serving/api.h:"), std::string::npos)
+      << r.output;
+}
+
+std::string detcheck_tree_cmd(const fs::path& root, const fs::path& roots) {
+  return kDetcheck + " --roots " + q(roots) + " " + q(root / "src") + " " +
+         q(root / "bench") + " " + q(root / "tools");
+}
+
+TEST(DetcheckRealTree, PipelineIsDeterminismCleanWithEnoughRoots) {
+  // The exact invocation ctest/CI runs: src + bench + tools against the
+  // checked-in roots file. Passing proves the bit-identity cone is clean
+  // end to end, with no baseline to hide behind.
+  const RunResult r =
+      run(detcheck_tree_cmd(kRoot, kRoot / "tools" / "detcheck_roots.txt"));
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("violations=0 status=ok"), std::string::npos)
+      << r.output;
+  // Acceptance floor: at least 8 annotated determinism roots.
+  const auto at = r.output.find("roots=");
+  ASSERT_NE(at, std::string::npos) << r.output;
+  const int roots = std::atoi(r.output.c_str() + at + 6);
+  EXPECT_GE(roots, 8) << r.output;
+}
+
+TEST(DetcheckRealTree, RootsFilePinsEveryPaperInvariant) {
+  // Removing a row from detcheck_roots.txt must fail ctest even though the
+  // checker itself cannot see the deletion (fewer required roots is a
+  // weaker, still-consistent configuration). This pin is the other half of
+  // the deletion property: the annotation side is guarded by root-coverage,
+  // the roots-file side by this exact-row assertion.
+  const std::string rows = read_file(kRoot / "tools" / "detcheck_roots.txt");
+  const char* const kRequired[] = {
+      "deterministic dsp::compute_drai_sequence",
+      "deterministic har::infer_forward",
+      "deterministic Sequential::forward",
+      "deterministic Sequential::backward",
+      "deterministic radar::Simulator::synthesize",
+      "deterministic radar::Simulator::simulate_sequence",
+      "deterministic har::train_model",
+      "deterministic StreamingHarService::process_round",
+      "deterministic StreamingHarService::run_inference",
+  };
+  for (const char* row : kRequired)
+    EXPECT_NE(rows.find(row), std::string::npos)
+        << "missing roots row: " << row;
+}
+
+TEST(DetcheckRealTree, DeletingAnyRootAnnotationFails) {
+  // Acceptance property: strip the MMHAR_DETERMINISTIC token from each real
+  // annotation site, one at a time, in a scratch copy of the repo; every
+  // single deletion must turn root-coverage red.
+  const fs::path tmp = scratch_dir() / "dettree";
+  fs::remove_all(tmp);
+  fs::create_directories(tmp);
+  for (const char* dir : {"src", "bench", "tools"})
+    fs::copy(kRoot / dir, tmp / dir, fs::copy_options::recursive);
+
+  struct Site {
+    fs::path file;
+    std::size_t line_idx;
+    std::string original;
+  };
+  std::vector<Site> sites;
+  for (const auto& entry : fs::recursive_directory_iterator(tmp / "src")) {
+    if (!entry.is_regular_file()) continue;
+    if (entry.path().filename() == "thread_annotations.h") continue;
+    const auto ext = entry.path().extension().string();
+    if (ext != ".h" && ext != ".cpp") continue;
+    std::ifstream in(entry.path());
+    std::string line;
+    std::size_t idx = 0;
+    for (; std::getline(in, line); ++idx) {
+      const auto first = line.find_first_not_of(" \t");
+      if (first != std::string::npos &&
+          (line.compare(first, 2, "//") == 0 || line[first] == '#' ||
+           line[first] == '*'))
+        continue;
+      if (line.find("MMHAR_DETERMINISTIC") != std::string::npos)
+        sites.push_back({entry.path(), idx, line});
+    }
+  }
+  ASSERT_GE(sites.size(), 9u)
+      << "annotation sites not found — did the annotation spelling change?";
+
+  for (const auto& site : sites) {
+    std::ifstream in(site.file);
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) lines.push_back(line);
+    in.close();
+    ASSERT_LT(site.line_idx, lines.size());
+
+    std::string stripped = lines[site.line_idx];
+    const std::string token = "MMHAR_DETERMINISTIC";
+    for (auto at = stripped.find(token); at != std::string::npos;
+         at = stripped.find(token))
+      stripped.erase(at, token.size());
+    lines[site.line_idx] = stripped;
+    {
+      std::ofstream out(site.file);
+      for (const auto& l : lines) out << l << "\n";
+    }
+
+    const RunResult r =
+        run(detcheck_tree_cmd(tmp, kRoot / "tools" / "detcheck_roots.txt"));
+    EXPECT_EQ(r.exit_code, 1)
+        << "stripping the annotation from " << site.file << ":"
+        << site.line_idx + 1 << " (`" << site.original
+        << "`) went unnoticed:\n" << r.output;
+    EXPECT_NE(r.output.find("[root-coverage]"), std::string::npos)
+        << r.output;
+    EXPECT_NE(r.output.find("has lost its MMHAR_DETERMINISTIC"),
+              std::string::npos)
+        << r.output;
+
+    // Restore for the next site.
+    lines[site.line_idx] = site.original;
+    std::ofstream out(site.file);
+    for (const auto& l : lines) out << l << "\n";
+  }
+  fs::remove_all(tmp);
 }
 
 TEST(AnalyzeRealTree, DeletingAnyRegistryRowFails) {

@@ -169,15 +169,16 @@ inline bool is_suppressed(const std::vector<std::string>& raw_lines,
   return idx > 0 && raw_lines[idx - 1].find(needle) != std::string::npos;
 }
 
-// Extended suppression matcher (mmhar_rtcheck): the marker's allow() may
-// carry a comma-separated rule list — `// mmhar-rtcheck: allow(throw,
-// alloc) — why` — and the marker line may sit at the top of a run of
-// consecutive //-comment lines directly above the offending line, so one
-// justified comment covers a multi-line statement.
-inline bool suppression_allows(const std::vector<std::string>& raw_lines,
-                               std::size_t idx, const std::string& marker,
-                               const std::string& rule) {
-  const std::string needle = marker + ": allow(";
+// Extended suppression matcher core: `needle` is the literal text opening
+// the rule list — e.g. "mmhar-rtcheck: allow(" or "MMHAR_DETCHECK_ALLOW(".
+// The list may be comma-separated — `allow(throw, alloc) — why` — and the
+// marker line may sit at the top of a run of consecutive //-comment lines
+// directly above the offending line, so one justified comment covers a
+// multi-line statement.
+inline bool suppression_allows_needle(const std::vector<std::string>& raw_lines,
+                                      std::size_t idx,
+                                      const std::string& needle,
+                                      const std::string& rule) {
   const auto line_allows = [&](const std::string& line) {
     const std::size_t at = line.find(needle);
     if (at == std::string::npos) return false;
@@ -209,6 +210,14 @@ inline bool suppression_allows(const std::vector<std::string>& raw_lines,
     if (line_allows(t)) return true;
   }
   return false;
+}
+
+// Marker-style spelling used by mmhar_rtcheck:
+// `// <marker>: allow(<rule>[, <rule>...]) — why`.
+inline bool suppression_allows(const std::vector<std::string>& raw_lines,
+                               std::size_t idx, const std::string& marker,
+                               const std::string& rule) {
+  return suppression_allows_needle(raw_lines, idx, marker + ": allow(", rule);
 }
 
 // Read a file into lines; false when unreadable.

@@ -263,7 +263,7 @@ class FileScanner {
   }
 
   void index_annotation_use() {
-    static const std::regex use_re(R"(\bMMHAR_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|ACQUIRE_SHARED|RELEASE|TRY_ACQUIRE|EXCLUDES|CAPABILITY|SCOPED_CAPABILITY|ASSERT_CAPABILITY|RETURN_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS|REALTIME|REALTIME_HANDOFF)\b)");
+    static const std::regex use_re(R"(\bMMHAR_(GUARDED_BY|PT_GUARDED_BY|REQUIRES|REQUIRES_SHARED|ACQUIRE|ACQUIRE_SHARED|RELEASE|TRY_ACQUIRE|EXCLUDES|CAPABILITY|SCOPED_CAPABILITY|ASSERT_CAPABILITY|RETURN_CAPABILITY|NO_THREAD_SAFETY_ANALYSIS|REALTIME|REALTIME_HANDOFF|DETERMINISTIC)\b)");
     for (std::size_t i = 0; i < out_.code.size(); ++i) {
       if (out_.first_annotation_line == 0 &&
           std::regex_search(out_.code[i], use_re))

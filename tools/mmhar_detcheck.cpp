@@ -1,0 +1,658 @@
+// mmhar_detcheck — cross-translation-unit determinism checker. Proves
+// (textually, over the whole repo at once) that every function reachable
+// from a MMHAR_DETERMINISTIC annotation root — the DRAI heatmap pipeline,
+// Sequential forward/backward, the Eq.-3 coherent ray sum and its sequence
+// driver, training, and the serving round/inference paths — cannot produce
+// different bits on different runs: no hash-order iteration, no
+// nondeterminism source (wall clocks, std::rand, thread ids, pointer
+// hashing/ordering), no racy parallel reduction, and no env knob read
+// after startup. Every bit-identity claim the runtime equality tests make
+// (SIMD kernels invariant under MMHAR_THREADS, serving logits invariant
+// under shard count and batch composition, fault-degraded rounds equal to
+// fault-free ones) assumes these properties; the runtime tests can only
+// witness the paths they exercise, this checker covers the rest.
+//
+// The parsing/resolution/reachability machinery is tools/callgraph.h
+// (shared with mmhar_rtcheck): a function-level call graph over all TUs,
+// decl-carried annotations unioned into definitions by qualified name, and
+// breadth-first reachability that reports each violation with the call
+// chain from the nearest root.
+//
+// Rules:
+//   unordered-iter  iterating a std::unordered_map/unordered_set (range-for
+//                   or .begin()/.cbegin()/.rbegin()) in a reachable body.
+//                   Iteration order depends on hashing, insertion history,
+//                   and libstdc++ version; any result folded over it is not
+//                   reproducible. Lookup (.find/.count/.at) is fine —
+//                   that's why the rule fires on iteration, not on the
+//                   container declaration.
+//   nondet-call     a banned nondeterminism source in a reachable body:
+//                   rand/srand/random-family, std::random_device,
+//                   thread ids, wall/CPU clocks (::now(), time(), clock(),
+//                   gettimeofday, clock_gettime, localtime/gmtime/mktime),
+//                   std::hash<T*> / std::less<T*> (address-dependent), and
+//                   reinterpret_cast to uintptr_t (pointer-order logic).
+//                   Seeded repo Rng streams are fine; ambient entropy is
+//                   not.
+//   parallel-accum  compound assignment to a captured-by-reference
+//                   variable inside a parallel_for/parallel_for_chunked
+//                   [&] lambda that the lambda did not declare — a shared-
+//                   accumulator race whose result depends on thread
+//                   interleaving. Promoted from mmhar_lint's retired
+//                   parallel-ref-accum rule and scanned over EVERY
+//                   function (not just reachable ones) so no file loses
+//                   the lint-era coverage; the call chain is attached when
+//                   the site is reachable from a determinism root.
+//   env-read        any getenv/env_* call in a reachable body. Knobs must
+//                   be read once at startup and passed down as plain
+//                   values — a mid-pipeline read makes the result depend
+//                   on ambient process state the experiment log does not
+//                   capture. common/env.cpp (the accessors' own
+//                   implementation) is exempt.
+//   root-coverage   every entry of the --roots file must name an existing
+//                   function that still carries MMHAR_DETERMINISTIC —
+//                   deleting the annotation from a root is a failure, not
+//                   a silent shrink of the checked set.
+//   layering        the module dependency DAG, over `#include "..."` edges
+//                   of files under src/. Modules have strict ranks
+//                   (common=0; tensor=mesh=1; dsp=nn=2; radar=3; har=4;
+//                   xai=defense=5; core=serving=6) and an include may only
+//                   reach a strictly lower rank (same module is free).
+//                   Strict ranks make cycles impossible by construction,
+//                   so an upward OR lateral cross-module include fails.
+//                   bench/, tools/, and tests/ sit above the DAG and may
+//                   include anything.
+//
+// Suppression: `// MMHAR_DETCHECK_ALLOW(<rule>[, <rule>...]) — why` on the
+// offending line, or on a comment line in the run of //-comments directly
+// above it. The pseudo-rule `calls` stops call-graph traversal out of a
+// line, for provably once-per-process paths (e.g. a magic-static
+// initializer). There is deliberately no baseline mechanism: the tree must
+// be clean, exactly like mmhar_rtcheck.
+//
+// Usage:
+//   mmhar_detcheck [--roots <roots.txt>] [--rule <name>]...
+//                  [--report <file>] <root>...
+//
+// Exit codes: 0 clean, 1 violations, 2 usage/IO error — aligned with
+// mmhar_lint / mmhar_analyze / mmhar_rtcheck. Runs in CI and as a ctest
+// (see tools/CMakeLists.txt); --report writes the violation list with call
+// chains to a file CI uploads as an artifact on failure.
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <optional>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis_text.h"
+#include "callgraph.h"
+
+namespace fs = std::filesystem;
+using mmhar_tools::AnnotationTokens;
+using mmhar_tools::CallGraph;
+using mmhar_tools::DeclFlags;
+using mmhar_tools::FnRecord;
+using mmhar_tools::Reachability;
+using mmhar_tools::RootSpec;
+using mmhar_tools::ScopeScanner;
+using mmhar_tools::SourceFile;
+using mmhar_tools::Violation;
+using mmhar_tools::blank_template_args;
+using mmhar_tools::collect_sources;
+using mmhar_tools::display_path;
+using mmhar_tools::load_root_specs;
+using mmhar_tools::read_lines;
+using mmhar_tools::sort_unique_violations;
+using mmhar_tools::suppression_allows_needle;
+using mmhar_tools::trim;
+
+namespace {
+
+constexpr const char* kAllowNeedle = "MMHAR_DETCHECK_ALLOW(";
+
+// Annotation-token bit position in FnRecord::flags.
+constexpr std::size_t kDeterministic = 0;
+
+// ---- layering: the module rank map ------------------------------------------
+
+// Strict ranks over src/ modules. An include edge is legal iff it targets
+// a strictly lower rank or stays inside its own module; equal-rank
+// cross-module includes are violations (they would let the two modules
+// grow into a cycle one edge at a time). Kept in sync with the DESIGN.md
+// layering section.
+const std::map<std::string, int>& module_ranks() {
+  static const std::map<std::string, int> ranks = {
+      {"common", 0}, {"tensor", 1}, {"mesh", 1},    {"dsp", 2},
+      {"nn", 2},     {"radar", 3},  {"har", 4},     {"xai", 5},
+      {"defense", 5}, {"core", 6},  {"serving", 6}};
+  return ranks;
+}
+
+// ---- nondet-call: banned-source patterns ------------------------------------
+
+struct NondetPat {
+  std::regex re;
+  const char* msg;
+};
+
+const std::vector<NondetPat>& nondet_patterns() {
+  static const std::vector<NondetPat> pats = [] {
+    std::vector<NondetPat> p;
+    p.push_back({std::regex(R"((^|[^\w])(rand|srand|rand_r|random|drand48|lrand48|mrand48)\s*\()"),
+                 "C rand-family call draws from ambient global state"});
+    p.push_back({std::regex(R"(\bstd::random_device\b)"),
+                 "std::random_device is an entropy source — results differ "
+                 "every run"});
+    p.push_back({std::regex(R"(\bthis_thread\s*::\s*get_id\b|(\.|->)\s*get_id\s*\()"),
+                 "thread ids depend on scheduling and OS allocation"});
+    p.push_back({std::regex(R"(::\s*now\s*\()"),
+                 "clock read — wall/steady time differs every run"});
+    p.push_back({std::regex(R"((^|[^\w])(time|clock)\s*\()"),
+                 "C time/clock read differs every run"});
+    p.push_back({std::regex(R"(\b(gettimeofday|clock_gettime|localtime|gmtime|mktime|ctime|strftime)\s*\()"),
+                 "time-of-day call differs every run"});
+    p.push_back({std::regex(R"(\bstd::hash\s*<[^<>]*\*)"),
+                 "std::hash over a pointer type — hashes the address, which "
+                 "ASLR changes every run"});
+    p.push_back({std::regex(R"(\bstd::less\s*<[^<>]*\*)"),
+                 "std::less over a pointer type — orders by address, which "
+                 "ASLR changes every run"});
+    p.push_back({std::regex(R"(\breinterpret_cast\s*<\s*(std::)?u?intptr_t\b)"),
+                 "pointer-to-integer cast — address-derived values change "
+                 "every run"});
+    return p;
+  }();
+  return pats;
+}
+
+// ---- per-file derived indexes -----------------------------------------------
+
+struct FileDetail {
+  // Names declared as std::unordered_{map,set,multimap,multiset} anywhere
+  // in the file (function locals and record members alike).
+  std::set<std::string> unordered_names;
+  // `#include "..."` targets with their lines, for the layering rule.
+  std::vector<std::pair<std::string, std::size_t>> includes;
+};
+
+FileDetail index_file(const SourceFile& file) {
+  FileDetail d;
+  static const std::regex unordered_re(
+      R"(\bunordered_(map|set|multimap|multiset)\s*<[^<>]*>\s*[&*]?\s*([A-Za-z_]\w*))");
+  static const std::regex include_re(R"(^\s*#\s*include\s+"([^"]+)\")");
+  std::string blanked;  // hoisted per-line scratch
+  for (std::size_t i = 0; i < file.code.size(); ++i) {
+    blanked = blank_template_args(file.code[i]);
+    std::smatch m;
+    if (std::regex_search(blanked, m, unordered_re))
+      d.unordered_names.insert(m[2].str());
+    // Include paths live inside string literals, so read the
+    // strings-preserved view.
+    if (std::regex_search(file.code_strings[i], m, include_re))
+      d.includes.emplace_back(m[1].str(), i + 1);
+  }
+  return d;
+}
+
+class Checker {
+ public:
+  explicit Checker(CallGraph graph) : graph_(std::move(graph)) {
+    details_.reserve(graph_.files().size());
+    for (const auto& file : graph_.files())
+      details_.push_back(index_file(file));
+  }
+
+  bool load_roots(const fs::path& path) {
+    roots_path_ = path.generic_string();
+    return load_root_specs(path, {"deterministic"}, root_specs_,
+                           roots_parse_error_);
+  }
+
+  const std::string& roots_parse_error() const { return roots_parse_error_; }
+
+  std::vector<Violation> run(const std::set<std::string>& rules) {
+    if (rules.count("root-coverage")) rule_root_coverage();
+    if (rules.count("layering")) rule_layering();
+    propagate(rules);
+    sort_unique_violations(found_);
+    return std::move(found_);
+  }
+
+  std::size_t function_count() const { return graph_.functions().size(); }
+  std::size_t root_count() const { return root_count_; }
+  std::size_t reachable_count() const { return reachable_count_; }
+
+ private:
+  bool line_allows(const SourceFile& file, std::size_t ln,
+                   const std::string& rule) const {
+    return ln >= 1 && ln <= file.raw.size() &&
+           suppression_allows_needle(file.raw, ln - 1, kAllowNeedle, rule);
+  }
+  bool line_allows(const FnRecord& fn, std::size_t ln,
+                   const std::string& rule) const {
+    return line_allows(graph_.file_of(fn), ln, rule);
+  }
+
+  void rule_root_coverage() {
+    const auto& functions = graph_.functions();
+    std::vector<std::size_t> matches;  // hoisted per-spec scratch
+    for (const auto& spec : root_specs_) {
+      matches.clear();
+      for (std::size_t i = 0; i < functions.size(); ++i)
+        if (CallGraph::suffix_matches(functions[i].qual, spec.name))
+          matches.push_back(i);
+      if (matches.empty()) {
+        found_.push_back({"root-coverage", roots_path_, spec.line,
+                          "required root '" + spec.name +
+                              "' names no function in the scanned roots — "
+                              "the deterministic entry point was renamed or "
+                              "deleted without updating " + roots_path_,
+                          ""});
+        continue;
+      }
+      bool ok = false;
+      for (const std::size_t id : matches)
+        if (functions[id].has_flag(kDeterministic)) ok = true;
+      if (!ok) {
+        const FnRecord& fn = functions[matches.front()];
+        found_.push_back(
+            {"root-coverage", fn.file, fn.line,
+             "required root '" + spec.name +
+                 "' has lost its MMHAR_DETERMINISTIC annotation (declared "
+                 "required in " + roots_path_ + ":" +
+                 std::to_string(spec.line) + ")",
+             ""});
+      }
+    }
+  }
+
+  // Module-layering DAG over include edges. File-level: reachability is
+  // irrelevant (an illegal edge is an architecture defect whether or not
+  // today's roots exercise it).
+  void rule_layering() {
+    const auto& ranks = module_ranks();
+    const auto module_of = [](const std::string& display) -> std::string {
+      // "src/<module>/..." -> module; anything else sits above the DAG.
+      if (display.rfind("src/", 0) != 0) return "";
+      const std::size_t a = 4;
+      const std::size_t b = display.find('/', a);
+      return b == std::string::npos ? "" : display.substr(a, b - a);
+    };
+    for (std::size_t f = 0; f < graph_.files().size(); ++f) {
+      const SourceFile& file = graph_.files()[f];
+      const std::string mod = module_of(file.path);
+      const auto mod_it = ranks.find(mod);
+      if (mod_it == ranks.end()) continue;
+      for (const auto& [target_path, ln] : details_[f].includes) {
+        const std::size_t sep = target_path.find('/');
+        if (sep == std::string::npos) continue;  // same-directory include
+        const std::string target = target_path.substr(0, sep);
+        const auto tgt_it = ranks.find(target);
+        if (tgt_it == ranks.end() || target == mod) continue;
+        if (tgt_it->second < mod_it->second) continue;  // downward edge: ok
+        if (line_allows(file, ln, "layering")) continue;
+        std::ostringstream msg;
+        msg << "include of \"" << target_path << "\" pulls module '"
+            << target << "' (rank " << tgt_it->second << ") into module '"
+            << mod << "' (rank " << mod_it->second
+            << ") — the layering DAG only allows includes of strictly "
+               "lower-ranked modules";
+        found_.push_back({"layering", file.path, ln, msg.str(), ""});
+      }
+    }
+  }
+
+  // parallel-accum: mmhar_lint's retired parallel-ref-accum detector,
+  // verbatim algorithm, file-granular so coverage is identical to the lint
+  // era (every file, not just reachable functions).
+  void rule_parallel_accum(
+      const std::map<std::size_t, Reachability::Via>& via) {
+    static const std::regex call_re(R"(parallel_for(_chunked)?\s*\()");
+    static const std::regex accum_re(
+        R"(([A-Za-z_]\w*)(\s*\[[^\]]*\])?(\.\w+|->\w+)?\s*(\+=|-=|\*=|/=|\+\+|--))");
+    std::string cap_list;  // scratch strings hoisted out of the scan loops
+    std::string body;
+    std::string tail;
+    std::string name;
+    std::string chain;
+    for (std::size_t f = 0; f < graph_.files().size(); ++f) {
+      const SourceFile& file = graph_.files()[f];
+      const auto& code = file.code;
+      for (std::size_t i = 0; i < code.size(); ++i) {
+        if (!std::regex_search(code[i], call_re)) continue;
+        // Find the lambda's opening brace at or after the call, then the
+        // matching close brace (brace counting over comment-stripped code).
+        std::size_t open_line = i;
+        std::size_t open_col = std::string::npos;
+        for (std::size_t j = i; j < code.size() && j < i + 4; ++j) {
+          const auto cap = code[j].find('[');
+          if (cap == std::string::npos) continue;
+          const auto brace = code[j].find('{', cap);
+          if (brace != std::string::npos) {
+            open_line = j;
+            open_col = brace;
+            break;
+          }
+        }
+        if (open_col == std::string::npos) continue;  // no lambda body found
+        // Only [&] (or [&, ...]) captures can alias shared accumulators.
+        const auto cap_start = code[open_line].find('[');
+        cap_list.assign(code[open_line], cap_start,
+                        code[open_line].find(']', cap_start) - cap_start);
+        if (cap_list.find('&') == std::string::npos) continue;
+
+        int depth = 0;
+        std::size_t end_line = open_line;
+        std::ostringstream body_os;
+        for (std::size_t j = open_line; j < code.size(); ++j) {
+          const std::string& l = code[j];
+          const std::size_t start = j == open_line ? open_col : 0;
+          bool closed = false;
+          for (std::size_t c = start; c < l.size(); ++c) {
+            if (l[c] == '{') ++depth;
+            if (l[c] == '}') {
+              --depth;
+              if (depth == 0) {
+                closed = true;
+                break;
+              }
+            }
+          }
+          body_os << l << '\n';
+          if (closed) {
+            end_line = j;
+            break;
+          }
+        }
+        body = body_os.str();
+
+        for (std::size_t j = open_line; j <= end_line; ++j) {
+          std::smatch m;
+          tail = code[j];
+          while (std::regex_search(tail, m, accum_re)) {
+            name = m[1].str();
+            // `declared in the body` approximated as: some line of the
+            // body introduces `name` after a type-ish token or as a
+            // lambda param.
+            const std::regex decl_re(
+                "(auto|float|double|int|bool|unsigned|long|size_t|cfloat|"
+                "char|std::\\w+|[A-Z]\\w*)\\s*[&*]?\\s*" + name + "\\b");
+            if (!std::regex_search(body, decl_re)) {
+              if (!line_allows(file, j + 1, "parallel-accum")) {
+                chain.clear();
+                std::string owner;
+                enclosing_reachable(via, static_cast<int>(f), j + 1, owner,
+                                    chain);
+                found_.push_back(
+                    {"parallel-accum", file.path, j + 1,
+                     "'" + name +
+                         "' is compound-assigned inside a parallel_for [&] "
+                         "lambda but declared outside it — the combine "
+                         "order (and under a race, the value) depends on "
+                         "thread interleaving; accumulate per chunk and "
+                         "combine after the join" +
+                         (owner.empty() ? "" : " [in " + owner + "]"),
+                     chain});
+              }
+              break;  // one report per line is enough
+            }
+            tail = m.suffix().str();
+          }
+        }
+        i = end_line;  // don't rescan the body for nested calls
+      }
+    }
+  }
+
+  // If (file_id, line) falls inside a reachable function, yield its
+  // qualified name and root chain.
+  void enclosing_reachable(const std::map<std::size_t, Reachability::Via>& via,
+                           int file_id, std::size_t ln, std::string& owner,
+                           std::string& chain) const {
+    const auto& functions = graph_.functions();
+    for (const auto& [id, v] : via) {
+      (void)v;
+      const FnRecord& fn = functions[id];
+      if (fn.file_id != file_id) continue;
+      if (ln < fn.body_begin || ln > fn.body_end) continue;
+      owner = fn.qual;
+      chain = reach_->chain(graph_, id);
+      return;
+    }
+  }
+
+  void propagate(const std::set<std::string>& rules) {
+    // Roots: every MMHAR_DETERMINISTIC function. The --roots file is a
+    // floor that root-coverage enforces, not a ceiling.
+    const auto& functions = graph_.functions();
+    std::vector<std::size_t> roots;
+    for (std::size_t i = 0; i < functions.size(); ++i)
+      if (functions[i].has_flag(kDeterministic) && !functions[i].noreturn)
+        roots.push_back(i);
+    std::sort(roots.begin(), roots.end(),
+              [&](std::size_t a, std::size_t b) {
+                return std::tie(functions[a].file, functions[a].line) <
+                       std::tie(functions[b].file, functions[b].line);
+              });
+    root_count_ = roots.size();
+
+    reach_.emplace(graph_, roots,
+                   [this](const FnRecord& fn, std::size_t ln) {
+                     return line_allows(fn, ln, "calls");
+                   });
+    reachable_count_ = reach_->size();
+
+    if (rules.count("parallel-accum")) rule_parallel_accum(reach_->via());
+
+    std::string chain;  // hoisted per-function scratch
+    for (const auto& [id, v] : reach_->via()) {
+      (void)v;
+      const FnRecord& fn = functions[id];
+      chain = reach_->chain(graph_, id);
+      const SourceFile& file = graph_.file_of(fn);
+      const FileDetail& detail = details_[static_cast<std::size_t>(fn.file_id)];
+
+      for (std::size_t ln = fn.body_begin; ln <= fn.body_end; ++ln) {
+        const std::size_t idx = ln - 1;
+        if (idx >= file.code.size()) break;
+        const std::string& line = file.code[idx];
+        {
+          const std::string t = trim(line);
+          if (!t.empty() && t[0] == '#') continue;
+        }
+        if (idx > 0 && !file.raw[idx - 1].empty() &&
+            file.raw[idx - 1].back() == '\\')
+          continue;  // macro continuation
+
+        if (rules.count("nondet-call")) {
+          for (const auto& pat : nondet_patterns()) {
+            if (!std::regex_search(line, pat.re)) continue;
+            if (line_allows(fn, ln, "nondet-call")) continue;
+            found_.push_back({"nondet-call", fn.file, ln,
+                              std::string(pat.msg) + " [in " + fn.qual + "]",
+                              chain});
+          }
+        }
+        if (rules.count("unordered-iter") && !detail.unordered_names.empty())
+          scan_unordered_iter(fn, line, ln, detail, chain);
+      }
+
+      if (rules.count("env-read") &&
+          fn.file.find("common/env.cpp") == std::string::npos) {
+        for (const auto& site : file.env_sites) {
+          if (site.line < fn.body_begin || site.line > fn.body_end) continue;
+          if (line_allows(fn, site.line, "env-read")) continue;
+          found_.push_back(
+              {"env-read", fn.file, site.line,
+               (site.name.empty()
+                    ? std::string("env read with a non-literal name")
+                    : "'" + site.name + "' is read") +
+                   " inside the deterministic pipeline — knobs must be "
+                   "read once at startup and passed down as values [in " +
+                   fn.qual + "]",
+               chain});
+        }
+      }
+    }
+  }
+
+  void scan_unordered_iter(const FnRecord& fn, const std::string& line,
+                           std::size_t ln, const FileDetail& detail,
+                           const std::string& chain) {
+    for (const auto& name : detail.unordered_names) {
+      // Range-for over the container, or an explicit iterator walk.
+      const std::regex range_re(R"((^|[^\w])for\s*\([^;)]*:\s*)" + name +
+                                R"(\s*\))");
+      const std::regex begin_re("\\b" + name + R"(\s*\.\s*[cr]?begin\s*\()");
+      if (!std::regex_search(line, range_re) &&
+          !std::regex_search(line, begin_re))
+        continue;
+      if (line_allows(fn, ln, "unordered-iter")) continue;
+      found_.push_back(
+          {"unordered-iter", fn.file, ln,
+           "'" + name +
+               "' is an unordered container and this iterates it — "
+               "iteration order depends on hashing and insertion history, "
+               "so any result folded over it is not reproducible; use a "
+               "sorted structure or sort the keys first [in " + fn.qual +
+               "]",
+           chain});
+    }
+  }
+
+  CallGraph graph_;
+  std::vector<FileDetail> details_;
+  std::optional<Reachability> reach_;
+  std::vector<RootSpec> root_specs_;
+  std::string roots_path_;
+  std::string roots_parse_error_;
+  std::size_t root_count_ = 0;
+  std::size_t reachable_count_ = 0;
+  std::vector<Violation> found_;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::vector<fs::path> roots_dirs;
+  fs::path roots_file;
+  fs::path report_path;
+  std::set<std::string> rules;
+  std::string arg;  // hoisted per-flag scratch
+  for (int i = 1; i < argc; ++i) {
+    arg = argv[i];
+    if (arg == "--roots" && i + 1 < argc) {
+      roots_file = argv[++i];
+    } else if (arg == "--report" && i + 1 < argc) {
+      report_path = argv[++i];
+    } else if (arg == "--rule" && i + 1 < argc) {
+      rules.insert(argv[++i]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown argument: " << arg << "\n";
+      return 2;
+    } else {
+      roots_dirs.emplace_back(arg);
+    }
+  }
+  if (roots_dirs.empty()) {
+    std::cerr << "usage: mmhar_detcheck [--roots <roots.txt>] "
+                 "[--rule <name>]... [--report <file>] <root>...\n";
+    return 2;
+  }
+  if (rules.empty())
+    rules = {"unordered-iter", "nondet-call", "parallel-accum", "env-read",
+             "root-coverage", "layering"};
+
+  const AnnotationTokens tokens({"MMHAR_DETERMINISTIC"});
+  std::vector<SourceFile> files;
+  std::vector<FnRecord> functions;
+  std::map<std::string, DeclFlags> decl_flags;
+  std::size_t file_count = 0;
+  for (const auto& root : roots_dirs) {
+    if (!fs::is_directory(root)) {
+      std::cerr << "mmhar_detcheck: not a directory: " << root << "\n";
+      return 2;
+    }
+    for (const auto& path : collect_sources(root)) {
+      SourceFile index;
+      index.path = display_path(root, path);
+      if (!read_lines(path, index.raw)) {
+        std::cerr << "mmhar_detcheck: cannot read " << path << "\n";
+        return 2;
+      }
+      files.push_back(std::move(index));
+      ++file_count;
+    }
+  }
+  for (std::size_t i = 0; i < files.size(); ++i)
+    ScopeScanner(files[i], static_cast<int>(i), tokens, functions, decl_flags)
+        .scan();
+
+  Checker checker(CallGraph(std::move(files), std::move(functions),
+                            std::move(decl_flags)));
+  if (!roots_file.empty()) {
+    if (!checker.load_roots(roots_file)) {
+      std::cerr << "mmhar_detcheck: cannot read roots file " << roots_file
+                << "\n";
+      return 2;
+    }
+    if (!checker.roots_parse_error().empty()) {
+      std::cerr << "mmhar_detcheck: bad roots file " << roots_file << ": "
+                << checker.roots_parse_error() << "\n";
+      return 2;
+    }
+  }
+  if (rules.count("root-coverage") && roots_file.empty()) {
+    std::cout << "mmhar_detcheck: note: root-coverage skipped (--roots not "
+                 "given)\n";
+    rules.erase("root-coverage");
+  }
+
+  const auto violations = checker.run(rules);
+  for (const auto& v : violations) {
+    std::cerr << v.file << ":" << v.line << ": [" << v.rule << "] "
+              << v.message << "\n";
+    if (!v.chain.empty()) std::cerr << "    chain: " << v.chain << "\n";
+  }
+  if (!report_path.empty()) {
+    // Diagnostic report for the CI artifact upload, not a cache the
+    // experiment runtime reads; a torn file cannot wedge anything.
+    // mmhar-lint: allow(naked-cache-write)
+    std::ofstream report(report_path);
+    if (!report) {
+      std::cerr << "mmhar_detcheck: cannot write report " << report_path
+                << "\n";
+      return 2;
+    }
+    for (const auto& v : violations) {
+      report << v.file << ":" << v.line << ": [" << v.rule << "] "
+             << v.message << "\n";
+      if (!v.chain.empty()) report << "    chain: " << v.chain << "\n";
+    }
+  }
+  std::cout << "mmhar_detcheck: scanned " << file_count << " file(s), "
+            << checker.function_count() << " function(s), "
+            << checker.root_count() << " annotated root(s), "
+            << checker.reachable_count() << " reachable, "
+            << violations.size() << " violation(s)\n";
+  std::cout << "mmhar_detcheck: summary files=" << file_count
+            << " functions=" << checker.function_count()
+            << " roots=" << checker.root_count()
+            << " reachable=" << checker.reachable_count()
+            << " violations=" << violations.size()
+            << " status=" << (violations.empty() ? "ok" : "fail") << "\n";
+  if (!violations.empty()) {
+    std::cerr << "mmhar_detcheck: FAIL — fix the violations above or add a "
+                 "justified `// MMHAR_DETCHECK_ALLOW(<rule>)`\n";
+    return 1;
+  }
+  std::cout << "mmhar_detcheck: OK\n";
+  return 0;
+}

@@ -14,11 +14,6 @@
 //                         MMHAR_CHECK/MMHAR_REQUIRE in the preceding lines:
 //                         the hot kernels may do this *after* validating
 //                         bounds, and the check must stay adjacent.
-//   parallel-ref-accum    a parallel_for/parallel_for_chunked lambda that
-//                         compound-assigns (+=, -=, *=, /=, ++, --) to a
-//                         variable it captured by reference and did not
-//                         declare itself — the classic shared-accumulator
-//                         data race.
 //   missing-pragma-once   a header whose first non-comment line is not
 //                         #pragma once.
 //   naked-cache-write     std::ofstream / open_for_write outside the
@@ -91,7 +86,6 @@ class FileLinter {
     check_banned_rng();
     check_naked_alloc();
     check_unchecked_data_arith();
-    check_parallel_ref_accum();
     check_loop_alloc();
     check_pragma_once();
     check_naked_cache_write();
@@ -149,99 +143,10 @@ class FileLinter {
     }
   }
 
-  // Heuristic shared-accumulator detector: inside a [&]-capturing lambda
-  // passed to parallel_for*, compound assignment to an identifier the
-  // lambda did not declare (and that is not the loop index) is flagged.
-  void check_parallel_ref_accum() {
-    static const std::regex call_re(R"(parallel_for(_chunked)?\s*\()");
-    static const std::regex accum_re(
-        R"(([A-Za-z_]\w*)(\s*\[[^\]]*\])?(\.\w+|->\w+)?\s*(\+=|-=|\*=|/=|\+\+|--))");
-    // Scratch strings hoisted out of the scan loops (this linter holds
-    // itself to its own loop-alloc rule).
-    std::string cap_list_;
-    std::string body_;
-    std::string tail_;
-    std::string name_;
-    for (std::size_t i = 0; i < code_.size(); ++i) {
-      if (!std::regex_search(code_[i], call_re)) continue;
-      // Find the lambda's opening brace at or after the call, then the
-      // matching close brace (brace counting over comment-stripped code).
-      std::size_t open_line = i;
-      std::size_t open_col = std::string::npos;
-      for (std::size_t j = i; j < code_.size() && j < i + 4; ++j) {
-        const auto cap = code_[j].find('[');
-        if (cap == std::string::npos) continue;
-        const auto brace = code_[j].find('{', cap);
-        if (brace != std::string::npos) {
-          open_line = j;
-          open_col = brace;
-          break;
-        }
-      }
-      if (open_col == std::string::npos) continue;  // no lambda body found
-      // Only [&] (or [&, ...]) captures can alias shared accumulators.
-      const auto cap_start = code_[open_line].find('[');
-      cap_list_.assign(code_[open_line], cap_start,
-                       code_[open_line].find(']', cap_start) - cap_start);
-      const std::string& cap_list = cap_list_;
-      if (cap_list.find('&') == std::string::npos) continue;
-
-      int depth = 0;
-      std::size_t end_line = open_line;
-      std::ostringstream body_os;
-      for (std::size_t j = open_line; j < code_.size(); ++j) {
-        const std::string& l = code_[j];
-        const std::size_t start = j == open_line ? open_col : 0;
-        bool closed = false;
-        for (std::size_t c = start; c < l.size(); ++c) {
-          if (l[c] == '{') ++depth;
-          if (l[c] == '}') {
-            --depth;
-            if (depth == 0) {
-              closed = true;
-              break;
-            }
-          }
-        }
-        body_os << l << '\n';
-        if (closed) {
-          end_line = j;
-          break;
-        }
-      }
-      body_ = body_os.str();
-      const std::string& body = body_;
-
-      for (std::size_t j = open_line; j <= end_line; ++j) {
-        std::smatch m;
-        tail_ = code_[j];
-        std::string& tail = tail_;
-        std::size_t consumed = 0;
-        while (std::regex_search(tail, m, accum_re)) {
-          name_ = m[1].str();
-          const std::string& name = name_;
-          // `declared in the body` approximated as: some line of the body
-          // introduces `name` after a type-ish token or as a lambda param.
-          const std::regex decl_re(
-              "(auto|float|double|int|bool|unsigned|long|size_t|cfloat|"
-              "char|std::\\w+|[A-Z]\\w*)\\s*[&*]?\\s*" + name + "\\b");
-          if (!std::regex_search(body, decl_re)) {
-            add("parallel-ref-accum", j,
-                "'" + name +
-                    "' is compound-assigned inside a parallel_for [&] "
-                    "lambda but declared outside it — shared-accumulator "
-                    "race unless every index writes a distinct element; "
-                    "accumulate per chunk and combine after the join");
-            break;  // one report per line is enough
-          }
-          consumed += static_cast<std::size_t>(m.position(0) + m.length(0));
-          tail = m.suffix().str();
-          (void)consumed;
-        }
-      }
-      i = end_line;  // don't rescan the body for nested calls
-    }
-  }
+  // The shared-accumulator detector (parallel-ref-accum) that lived here
+  // until PR 10 is retired: mmhar_detcheck's parallel-accum rule runs the
+  // same algorithm over every file AND attaches the determinism-root call
+  // chain when the site is reachable. One owner, strictly more signal.
 
   // Per-iteration heap allocation: a by-value std:: container declared
   // inside a for/while body. Brace counting tracks which scopes are loop

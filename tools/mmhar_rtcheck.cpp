@@ -7,16 +7,16 @@
 // protocol, blocking calls and I/O, `throw`, and unregistered MMHAR_* env
 // reads.
 //
-// Pass 1 parses every source root (same scoped-record walk as
-// mmhar_analyze: brace-depth scope stack over comment/string-stripped
-// lines) into a function-level call graph. Function bodies cover their
-// lambdas — a lambda assigned to a named variable, or passed to
-// ThreadPool::parallel_for, is attributed to the enclosing function, so a
-// violation inside it is charged where it executes. Pass 2 unions
-// annotations and [[noreturn]] across declarations and definitions by
-// qualified name, walks the graph breadth-first from every annotated
-// function, and reports each primitive violation with its exact file:line
-// and the call chain from the nearest root.
+// The parsing/resolution/reachability machinery lives in tools/callgraph.h
+// (shared with mmhar_detcheck): pass 1 parses every source root into a
+// function-level call graph with lambda bodies attributed to their
+// enclosing function; pass 2 unions annotations and [[noreturn]] across
+// declarations and definitions by qualified name, walks the graph
+// breadth-first from every annotated function, and reports each primitive
+// violation with its exact file:line and the call chain from the nearest
+// root. This file owns only what is real-time-specific: the primitive
+// regex table, the hand-off lock exemption, the env-registry rule, and the
+// root-coverage floor over tools/rtcheck_roots.txt.
 //
 // Rules:
 //   alloc          operator new/delete, malloc-family, make_unique/shared,
@@ -55,13 +55,6 @@
 // provably cold paths like first-use plan construction. There is
 // deliberately no baseline mechanism: the tree must be clean.
 //
-// Known textual limits (by design — this is a linter, not a compiler):
-// receiver types are unknown, so a growth member call whose name matches
-// a repo function resolves to it for *any* receiver, and overloads
-// sharing a qualified name share their annotations. Both widen the
-// checked set or keep it equal; neither invents an escape hatch that the
-// suppression comment would not.
-//
 // Usage:
 //   mmhar_rtcheck [--registry <env_registry.cpp>] [--roots <roots.txt>]
 //                 [--rule <name>]... [--report <file>] <root>...
@@ -72,8 +65,6 @@
 // chains to a file CI uploads as an artifact on failure.
 
 #include <algorithm>
-#include <cctype>
-#include <deque>
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -84,14 +75,25 @@
 #include <vector>
 
 #include "analysis_text.h"
+#include "callgraph.h"
 
 namespace fs = std::filesystem;
-using mmhar_tools::blank_template_args;
-using mmhar_tools::code_keeping_strings;
-using mmhar_tools::code_only;
+using mmhar_tools::AnnotationTokens;
+using mmhar_tools::CallGraph;
+using mmhar_tools::CallSite;
+using mmhar_tools::DeclFlags;
+using mmhar_tools::FnRecord;
+using mmhar_tools::Reachability;
+using mmhar_tools::RootSpec;
+using mmhar_tools::ScopeScanner;
+using mmhar_tools::SourceFile;
+using mmhar_tools::Violation;
 using mmhar_tools::collect_sources;
 using mmhar_tools::display_path;
+using mmhar_tools::load_env_registry;
+using mmhar_tools::load_root_specs;
 using mmhar_tools::read_lines;
+using mmhar_tools::sort_unique_violations;
 using mmhar_tools::suppression_allows;
 using mmhar_tools::trim;
 
@@ -99,50 +101,9 @@ namespace {
 
 constexpr const char* kMarker = "mmhar-rtcheck";
 
-// Member-call names that never resolve to repo functions: std containers /
-// atomics / chrono vocabulary. Lock/wait names are here too — those are
-// caught as primitives, and keeping them out of the graph keeps the
-// capability wrappers' internals (Mutex::lock calling inner_.lock) from
-// appearing as reachable nodes.
-const std::set<std::string>& member_skip_list() {
-  static const std::set<std::string> skip = {
-      "size",       "empty",      "data",        "begin",     "end",
-      "cbegin",     "cend",       "rbegin",      "rend",      "length",
-      "capacity",   "front",      "back",        "first",     "second",
-      "get",        "reset",      "release",     "swap",      "count",
-      "find",       "contains",   "clear",       "c_str",     "value",
-      "value_or",   "has_value",  "real",        "imag",      "load",
-      "store",      "exchange",   "fetch_add",   "fetch_sub", "notify_one",
-      "notify_all", "lock",       "unlock",      "try_lock",  "lock_shared",
-      "unlock_shared", "min",     "max",         "time_since_epoch"};
-  return skip;
-}
-
-// STL members whose call can grow the container (allocate). Kept in sync
-// with the rule list in the header comment.
-const std::set<std::string>& growth_members() {
-  static const std::set<std::string> grow = {
-      "push_back", "emplace_back", "push_front",       "emplace_front",
-      "resize",    "reserve",      "insert",           "emplace",
-      "try_emplace", "append",     "assign",           "insert_or_assign"};
-  return grow;
-}
-
-bool is_call_keyword(const std::string& name) {
-  static const std::set<std::string> kw = {
-      "if",     "for",      "while",   "switch",        "return",
-      "sizeof", "alignof",  "alignas", "decltype",      "noexcept",
-      "catch",  "throw",    "new",     "delete",        "static_assert",
-      "assert", "defined",  "case",    "else",          "do",
-      "goto",   "co_await", "co_return", "co_yield",    "requires"};
-  return kw.count(name) > 0;
-}
-
-struct CallSite {
-  std::string name;  // as written, :: qualifiers kept, whitespace removed
-  std::size_t line;  // 1-based
-  bool member;       // reached through . or ->
-};
+// Annotation-token bit positions in FnRecord::flags.
+constexpr std::size_t kRealtime = 0;
+constexpr std::size_t kHandoff = 1;
 
 struct Primitive {
   std::string rule;
@@ -151,581 +112,136 @@ struct Primitive {
   bool wrapper_lock = false;  // MutexLock/ReaderLock/WriterLock acquisition
 };
 
-struct Function {
-  std::string qual;  // fully qualified, e.g. mmhar::serving::Svc::poll
-  std::string file;  // display path
-  std::size_t line = 0;        // head line, 1-based
-  std::size_t body_begin = 0;  // line of the opening '{'
-  std::size_t body_end = 0;    // line of the closing '}'
-  int file_id = -1;
-  bool realtime = false;
-  bool handoff = false;
-  bool noreturn = false;
-  std::vector<CallSite> calls;
-  std::vector<Primitive> primitives;
-};
-
-struct DeclFlags {
-  bool realtime = false;
-  bool handoff = false;
-  bool noreturn = false;
-};
-
-struct EnvSite {
-  std::string name;  // literal name, or "" for a non-literal read
-  std::size_t line;
-};
-
-struct FileIndex {
-  std::string path;
-  std::vector<std::string> raw;
-  std::vector<std::string> code;          // strings blanked
-  std::vector<std::string> code_strings;  // strings kept
-  std::vector<EnvSite> env_sites;
-};
-
-struct Violation {
-  std::string rule;
-  std::string file;
-  std::size_t line;
-  std::string message;
-  std::string chain;  // "root -> ... -> function"; empty for root-coverage
-};
-
-// ---- Function-head dissection ----------------------------------------------
-
-struct HeadInfo {
-  bool is_function = false;
-  std::string name;  // possibly Record::name-qualified as written
-  bool realtime = false;
-  bool handoff = false;
-  bool noreturn = false;
-};
-
-// Dissect an accumulated namespace/record-scope statement that ended in
-// '{' (definition) or ';' (declaration): find the declarator name before
-// the first top-level '(' and the annotation tokens anywhere in the head.
-// MMHAR_REALTIME must not match inside MMHAR_REALTIME_HANDOFF — \b after
-// the E sees '_', a word character, so the regexes stay disjoint.
-HeadInfo parse_head(const std::string& stmt) {
-  HeadInfo info;
-  static const std::regex rt_re(R"(\bMMHAR_REALTIME\b)");
-  static const std::regex ho_re(R"(\bMMHAR_REALTIME_HANDOFF\b)");
-  static const std::regex noret_re(R"(\bnoreturn\b)");
-  info.realtime = std::regex_search(stmt, rt_re);
-  info.handoff = std::regex_search(stmt, ho_re);
-  info.noreturn = std::regex_search(stmt, noret_re);
-
-  const std::string cleaned = blank_template_args(stmt);
-  int paren = 0;
-  std::size_t name_end = std::string::npos;
-  for (std::size_t i = 0; i < cleaned.size(); ++i) {
-    const char c = cleaned[i];
-    if (c == '(') {
-      if (paren == 0 && name_end == std::string::npos) name_end = i;
-      ++paren;
-    } else if (c == ')') {
-      --paren;
-    } else if (c == '=' && paren == 0 && name_end == std::string::npos) {
-      return info;  // brace-initialised variable, not a function
-    }
+// Real-time-banned primitive patterns, scanned over a function's body
+// lines (comment/string-stripped, `#` lines and macro continuations
+// skipped — the same guards ScopeScanner applies to call sites).
+void scan_primitives(const std::string& line, std::size_t ln,
+                     std::vector<Primitive>& out) {
+  struct Pat {
+    const char* rule;
+    std::regex re;
+    const char* msg;
+    bool wrapper;
+  };
+  static const std::vector<Pat> pats = [] {
+    std::vector<Pat> p;
+    p.push_back({"alloc", std::regex(R"(\bnew\b)"),
+                 "operator new allocates", false});
+    p.push_back({"alloc", std::regex(R"(\bdelete\b)"),
+                 "operator delete frees heap memory", false});
+    p.push_back(
+        {"alloc",
+         std::regex(
+             R"(\b(malloc|calloc|realloc|strdup|aligned_alloc|posix_memalign|free)\s*\()"),
+         "malloc-family call", false});
+    p.push_back({"alloc", std::regex(R"(\bstd::make_(unique|shared)\b)"),
+                 "make_unique/make_shared allocates", false});
+    p.push_back(
+        {"alloc",
+         std::regex(R"(\bstd::to_string\s*\(|\b(o|i)?stringstream\b)"),
+         "string construction allocates", false});
+    p.push_back(
+        {"lock",
+         std::regex(
+             R"(\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)\b)"),
+         "raw std lock acquisition (only the annotated MutexLock/"
+         "ReaderLock/WriterLock wrappers may appear, and only in "
+         "MMHAR_REALTIME_HANDOFF bodies)",
+         false});
+    p.push_back(
+        {"lock",
+         std::regex(
+             R"((\.|->)\s*(lock|unlock|try_lock|try_lock_shared|try_lock_for|try_lock_until|lock_shared|unlock_shared)\s*\()"),
+         "raw mutex method call", false});
+    p.push_back({"lock", std::regex(R"(\bpthread_(mutex|rwlock)_\w+\s*\()"),
+                 "pthread locking call", false});
+    p.push_back(
+        {"lock",
+         std::regex(
+             R"(\b(MutexLock|ReaderLock|WriterLock)\s+[A-Za-z_]\w*\s*[({])"),
+         "lock acquisition outside a MMHAR_REALTIME_HANDOFF body (the "
+         "annotated slot hand-off protocol)",
+         true});
+    p.push_back(
+        {"block",
+         std::regex(R"(\bsleep_for\b|\bsleep_until\b|\busleep\b|\bnanosleep\b)"),
+         "sleep blocks the real-time thread", false});
+    p.push_back({"block",
+                 std::regex(R"((\.|->)\s*wait(_for|_until)?\s*\()"),
+                 "condition-variable wait blocks", false});
+    p.push_back({"block", std::regex(R"((\.|->)\s*join\s*\()"),
+                 "thread join blocks", false});
+    p.push_back(
+        {"block", std::regex(R"(\bparallel_for(_chunked)?\s*\()"),
+         "thread-pool dispatch blocks until every worker chunk finishes",
+         false});
+    p.push_back({"block", std::regex(R"(\bstd::(async|thread)\b)"),
+                 "thread spawn is unbounded-latency", false});
+    p.push_back(
+        {"block",
+         std::regex(
+             R"(\bstd::(cout|cerr|clog|cin)\b|\b(std::)?(ofstream|ifstream|fstream)\b)"),
+         "stream I/O blocks", false});
+    p.push_back(
+        {"block",
+         std::regex(
+             R"(\b(printf|fprintf|fputs|fputc|puts|fopen|fread|fwrite|fclose|fflush|getline|system|popen)\s*\()"),
+         "blocking I/O call", false});
+    p.push_back({"throw", std::regex(R"((^|[^\w])throw\b)"),
+                 "throw unwinds with unbounded latency (and the Error "
+                 "object allocates)",
+                 false});
+    return p;
+  }();
+  for (const auto& pat : pats) {
+    if (!std::regex_search(line, pat.re)) continue;
+    out.push_back({pat.rule, ln, pat.msg, pat.wrapper});
   }
-  if (name_end == std::string::npos) return info;
-  const std::string head = trim(cleaned.substr(0, name_end));
-  if (head.empty()) return info;
-  static const std::regex name_re(R"(((?:[A-Za-z_]\w*::)*~?[A-Za-z_]\w*)$)");
-  std::smatch m;
-  if (!std::regex_search(head, m, name_re)) {
-    // `operator==` and friends: keep the body attributed to *a* function
-    // so nested braces stay balanced, under a non-resolvable name.
-    if (head.find("operator") != std::string::npos) {
-      info.is_function = true;
-      info.name = "(operator)";
-    }
-    return info;
-  }
-  info.name = m[1].str();
-  // A variable annotated with an MMHAR_*(args) attribute would otherwise
-  // parse as a function named after the macro.
-  if (info.name.rfind("MMHAR_", 0) == 0) return info;
-  if (is_call_keyword(info.name)) return info;
-  info.is_function = true;
-  return info;
 }
 
-// ---- Pass 1: per-file scan --------------------------------------------------
-
-class RtScanner {
- public:
-  RtScanner(FileIndex& file, int file_id, std::vector<Function>& functions,
-            std::map<std::string, DeclFlags>& decl_flags)
-      : out_(file),
-        file_id_(file_id),
-        functions_(functions),
-        decl_flags_(decl_flags) {}
-
-  void scan() {
-    bool in_block = false;
-    bool in_block2 = false;
-    out_.code.reserve(out_.raw.size());
-    out_.code_strings.reserve(out_.raw.size());
-    for (const auto& l : out_.raw) {
-      out_.code.push_back(code_only(l, in_block));
-      out_.code_strings.push_back(code_keeping_strings(l, in_block2));
-    }
-    index_env_sites();
-    walk_scopes();
-    for (const std::size_t id : local_functions_) scan_body(functions_[id]);
+// Body primitives for one function: the regex table above, plus one
+// container-growth alloc primitive per growth call site (resolution
+// decides later whether it is a call edge into a repo function instead).
+std::vector<Primitive> function_primitives(const CallGraph& graph,
+                                           const FnRecord& fn) {
+  std::vector<Primitive> prims;
+  if (fn.body_begin == 0 || fn.body_end < fn.body_begin) return prims;
+  const SourceFile& file = graph.file_of(fn);
+  std::string line_trim;  // hoisted per-line scratch
+  for (std::size_t ln = fn.body_begin; ln <= fn.body_end; ++ln) {
+    const std::size_t idx = ln - 1;
+    if (idx >= file.code.size()) break;
+    line_trim = trim(file.code[idx]);
+    if (!line_trim.empty() && line_trim[0] == '#') continue;
+    if (idx > 0 && !file.raw[idx - 1].empty() &&
+        file.raw[idx - 1].back() == '\\')
+      continue;  // macro continuation
+    scan_primitives(file.code[idx], ln, prims);
   }
-
- private:
-  struct Declarator {
-    enum Kind { kNamespace, kRecord, kEnum } kind;
-    std::string name;
-    std::size_t pos;
-  };
-  struct Scope {
-    enum Kind { kNamespace, kRecord, kBlock, kFunction } kind;
-    std::string name;
-    int depth;
-    std::size_t func = SIZE_MAX;  // index into functions_, kFunction only
-  };
-
-  void index_env_sites() {
-    static const std::regex lit_re(
-        R"((^|[^\w])(env_[a-z_]+|getenv)\s*\(\s*"([A-Za-z0-9_]+)\")");
-    static const std::regex dyn_re(
-        R"((^|[^\w])(env_int|env_double|env_string|env_double_list|getenv)\s*\(\s*[^"\s])");
-    std::string tail;  // hoisted per-line scratch
-    for (std::size_t i = 0; i < out_.code_strings.size(); ++i) {
-      tail = out_.code_strings[i];
-      std::smatch m;
-      while (std::regex_search(tail, m, lit_re)) {
-        out_.env_sites.push_back({m[3].str(), i + 1});
-        tail = m.suffix().str();
-      }
-      if (std::regex_search(out_.code_strings[i], dyn_re))
-        out_.env_sites.push_back({"", i + 1});
-    }
+  for (const auto& call : fn.calls) {
+    if (!call.growth) continue;
+    prims.push_back({"alloc", call.line,
+                     "'." + call.name + "(...)' may grow a container "
+                     "(allocates)",
+                     false});
   }
-
-  // Same declarator detection as mmhar_analyze's scanner.
-  static std::vector<Declarator> find_declarators(const std::string& line) {
-    std::vector<Declarator> found;
-    static const std::regex ns_re(R"((^|[^\w])namespace(\s+([\w:]+))?\s*\{)");
-    static const std::regex enum_re(
-        R"((^|[^\w])enum\s+(class\s+|struct\s+)?([A-Za-z_]\w*))");
-    static const std::regex rec_re(
-        R"((^|[^\w])(struct|class)\s+((?:MMHAR_\w+\s*\([^)]*\)\s*)*)([A-Za-z_]\w*))");
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), ns_re);
-         it != std::sregex_iterator(); ++it) {
-      found.push_back({Declarator::kNamespace, (*it)[3].str(),
-                       static_cast<std::size_t>(it->position(0))});
-    }
-    static const std::regex ns_open_re(
-        R"((^|[^\w])namespace(\s+([\w:]+))?\s*$)");
-    std::smatch nm;
-    if (std::regex_search(line, nm, ns_open_re)) {
-      found.push_back({Declarator::kNamespace, nm[3].str(),
-                       static_cast<std::size_t>(nm.position(0))});
-    }
-    std::set<std::size_t> enum_pos;
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), enum_re);
-         it != std::sregex_iterator(); ++it) {
-      enum_pos.insert(static_cast<std::size_t>(it->position(0)));
-      found.push_back({Declarator::kEnum, (*it)[3].str(),
-                       static_cast<std::size_t>(it->position(0))});
-    }
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), rec_re);
-         it != std::sregex_iterator(); ++it) {
-      const auto pos = static_cast<std::size_t>(it->position(0));
-      bool inside_enum = false;
-      for (const auto ep : enum_pos)
-        if (ep <= pos && pos < ep + 12) inside_enum = true;
-      if (!inside_enum)
-        found.push_back({Declarator::kRecord, (*it)[4].str(), pos});
-    }
-    std::sort(found.begin(), found.end(),
-              [](const Declarator& a, const Declarator& b) {
-                return a.pos < b.pos;
-              });
-    return found;
-  }
-
-  // Namespace AND record components — rtcheck qualifies member functions
-  // through their record (mmhar::serving::StreamingHarService::poll),
-  // unlike mmhar_analyze's namespace-only symbol index.
-  static std::string qualify(const std::vector<Scope>& stack,
-                             const std::string& name) {
-    std::string qual;
-    for (const auto& s : stack) {
-      if (s.kind == Scope::kNamespace) {
-        if (!s.name.empty())
-          qual += s.name + "::";
-        else if (s.depth > 0)
-          qual += "(anonymous)::";
-      } else if (s.kind == Scope::kRecord) {
-        qual += s.name + "::";
-      }
-    }
-    return qual + name;
-  }
-
-  void walk_scopes() {
-    std::vector<Scope> stack;
-    stack.push_back({Scope::kNamespace, "", 0, SIZE_MAX});
-    int depth = 0;
-    bool have_pending = false;
-    Declarator pending{};
-    std::string stmt;
-    std::size_t stmt_line = 0;
-    bool continuation = false;
-
-    std::string t;  // hoisted per-line scratch
-    for (std::size_t i = 0; i < out_.code.size(); ++i) {
-      const std::string& line = out_.code[i];
-      t = trim(line);
-      const bool skip = continuation || (!t.empty() && t[0] == '#');
-      continuation = !out_.raw[i].empty() && out_.raw[i].back() == '\\';
-      if (skip) continue;
-
-      auto decls = find_declarators(line);
-      std::size_t decl_idx = 0;
-      for (std::size_t c = 0; c < line.size(); ++c) {
-        while (decl_idx < decls.size() && decls[decl_idx].pos <= c) {
-          pending = decls[decl_idx];
-          have_pending = true;
-          ++decl_idx;
-        }
-        const char ch = line[c];
-        const Scope& top = stack.back();
-        const bool at_scope_stmt_level =
-            (top.kind == Scope::kNamespace || top.kind == Scope::kRecord) &&
-            depth == top.depth;
-
-        if (ch == '{') {
-          if (have_pending && pending.kind == Declarator::kNamespace) {
-            ++depth;
-            stack.push_back({Scope::kNamespace, pending.name, depth, SIZE_MAX});
-            have_pending = false;
-            stmt.clear();
-          } else if (have_pending && pending.kind == Declarator::kRecord) {
-            ++depth;
-            stack.push_back({Scope::kRecord, pending.name, depth, SIZE_MAX});
-            have_pending = false;
-            stmt.clear();
-          } else if (have_pending && pending.kind == Declarator::kEnum) {
-            ++depth;
-            stack.push_back({Scope::kBlock, pending.name, depth, SIZE_MAX});
-            have_pending = false;
-            stmt.clear();
-          } else if (at_scope_stmt_level) {
-            const HeadInfo head = parse_head(stmt);
-            ++depth;
-            if (head.is_function) {
-              Function fn;
-              fn.qual = qualify(stack, head.name);
-              fn.file = out_.path;
-              fn.file_id = file_id_;
-              fn.line = stmt_line == 0 ? i + 1 : stmt_line;
-              fn.body_begin = i + 1;
-              fn.realtime = head.realtime;
-              fn.handoff = head.handoff;
-              fn.noreturn = head.noreturn;
-              functions_.push_back(std::move(fn));
-              local_functions_.push_back(functions_.size() - 1);
-              stack.push_back(
-                  {Scope::kFunction, head.name, depth, functions_.size() - 1});
-              stmt.clear();
-            } else {
-              stack.push_back({Scope::kBlock, "", depth, SIZE_MAX});
-            }
-          } else {
-            ++depth;
-            stack.push_back({Scope::kBlock, "", depth, SIZE_MAX});
-          }
-          continue;
-        }
-        if (ch == '}') {
-          if (stack.size() > 1 && stack.back().depth == depth) {
-            if (stack.back().kind == Scope::kFunction)
-              functions_[stack.back().func].body_end = i + 1;
-            stack.pop_back();
-          }
-          if (depth > 0) --depth;
-          continue;
-        }
-        if (ch == ';' && at_scope_stmt_level) {
-          have_pending = false;
-          record_declaration(stmt, stack);
-          stmt.clear();
-          continue;
-        }
-        if (at_scope_stmt_level) {
-          if (stmt.empty() || trim(stmt).empty()) {
-            if (!std::isspace(static_cast<unsigned char>(ch)))
-              stmt_line = i + 1;
-          }
-          stmt.push_back(ch);
-        }
-      }
-      if (!stmt.empty()) stmt.push_back(' ');
-    }
-    while (stack.size() > 1) {
-      if (stack.back().kind == Scope::kFunction &&
-          functions_[stack.back().func].body_end == 0)
-        functions_[stack.back().func].body_end = out_.code.size();
-      stack.pop_back();
-    }
-  }
-
-  // A ';'-terminated statement at namespace/record scope carrying an
-  // annotation or [[noreturn]] is a declaration whose flags must transfer
-  // to the definition (annotations live on decls in headers; the
-  // [[noreturn]] on finite_check_failed exists only on its decl).
-  void record_declaration(const std::string& stmt,
-                          const std::vector<Scope>& stack) {
-    if (stmt.find('(') == std::string::npos) return;
-    const HeadInfo head = parse_head(stmt);
-    if (!head.is_function) return;
-    if (!head.realtime && !head.handoff && !head.noreturn) return;
-    DeclFlags& flags = decl_flags_[qualify(stack, head.name)];
-    flags.realtime = flags.realtime || head.realtime;
-    flags.handoff = flags.handoff || head.handoff;
-    flags.noreturn = flags.noreturn || head.noreturn;
-  }
-
-  // ---- Body scan: primitives and call sites --------------------------------
-
-  void scan_body(Function& fn) {
-    if (fn.body_begin == 0 || fn.body_end < fn.body_begin) return;
-    std::string line_trim;  // hoisted per-line scratch
-    for (std::size_t ln = fn.body_begin; ln <= fn.body_end; ++ln) {
-      const std::size_t idx = ln - 1;
-      if (idx >= out_.code.size()) break;
-      line_trim = trim(out_.code[idx]);
-      if (!line_trim.empty() && line_trim[0] == '#') continue;
-      if (idx > 0 && !out_.raw[idx - 1].empty() &&
-          out_.raw[idx - 1].back() == '\\')
-        continue;  // macro continuation
-      scan_primitives(fn, out_.code[idx], ln);
-      scan_calls(fn, blank_template_args(out_.code[idx]), ln);
-    }
-  }
-
-  void scan_primitives(Function& fn, const std::string& line, std::size_t ln) {
-    struct Pat {
-      const char* rule;
-      std::regex re;
-      const char* msg;
-      bool wrapper;
-    };
-    static const std::vector<Pat> pats = [] {
-      std::vector<Pat> p;
-      p.push_back({"alloc", std::regex(R"(\bnew\b)"),
-                   "operator new allocates", false});
-      p.push_back({"alloc", std::regex(R"(\bdelete\b)"),
-                   "operator delete frees heap memory", false});
-      p.push_back(
-          {"alloc",
-           std::regex(
-               R"(\b(malloc|calloc|realloc|strdup|aligned_alloc|posix_memalign|free)\s*\()"),
-           "malloc-family call", false});
-      p.push_back({"alloc", std::regex(R"(\bstd::make_(unique|shared)\b)"),
-                   "make_unique/make_shared allocates", false});
-      p.push_back(
-          {"alloc",
-           std::regex(R"(\bstd::to_string\s*\(|\b(o|i)?stringstream\b)"),
-           "string construction allocates", false});
-      p.push_back(
-          {"lock",
-           std::regex(
-               R"(\bstd::(lock_guard|unique_lock|scoped_lock|shared_lock)\b)"),
-           "raw std lock acquisition (only the annotated MutexLock/"
-           "ReaderLock/WriterLock wrappers may appear, and only in "
-           "MMHAR_REALTIME_HANDOFF bodies)",
-           false});
-      p.push_back(
-          {"lock",
-           std::regex(
-               R"((\.|->)\s*(lock|unlock|try_lock|try_lock_shared|try_lock_for|try_lock_until|lock_shared|unlock_shared)\s*\()"),
-           "raw mutex method call", false});
-      p.push_back({"lock", std::regex(R"(\bpthread_(mutex|rwlock)_\w+\s*\()"),
-                   "pthread locking call", false});
-      p.push_back(
-          {"lock",
-           std::regex(
-               R"(\b(MutexLock|ReaderLock|WriterLock)\s+[A-Za-z_]\w*\s*[({])"),
-           "lock acquisition outside a MMHAR_REALTIME_HANDOFF body (the "
-           "annotated slot hand-off protocol)",
-           true});
-      p.push_back(
-          {"block",
-           std::regex(R"(\bsleep_for\b|\bsleep_until\b|\busleep\b|\bnanosleep\b)"),
-           "sleep blocks the real-time thread", false});
-      p.push_back({"block",
-                   std::regex(R"((\.|->)\s*wait(_for|_until)?\s*\()"),
-                   "condition-variable wait blocks", false});
-      p.push_back({"block", std::regex(R"((\.|->)\s*join\s*\()"),
-                   "thread join blocks", false});
-      p.push_back(
-          {"block", std::regex(R"(\bparallel_for(_chunked)?\s*\()"),
-           "thread-pool dispatch blocks until every worker chunk finishes",
-           false});
-      p.push_back({"block", std::regex(R"(\bstd::(async|thread)\b)"),
-                   "thread spawn is unbounded-latency", false});
-      p.push_back(
-          {"block",
-           std::regex(
-               R"(\bstd::(cout|cerr|clog|cin)\b|\b(std::)?(ofstream|ifstream|fstream)\b)"),
-           "stream I/O blocks", false});
-      p.push_back(
-          {"block",
-           std::regex(
-               R"(\b(printf|fprintf|fputs|fputc|puts|fopen|fread|fwrite|fclose|fflush|getline|system|popen)\s*\()"),
-           "blocking I/O call", false});
-      p.push_back({"throw", std::regex(R"((^|[^\w])throw\b)"),
-                   "throw unwinds with unbounded latency (and the Error "
-                   "object allocates)",
-                   false});
-      return p;
-    }();
-    for (const auto& pat : pats) {
-      if (!std::regex_search(line, pat.re)) continue;
-      fn.primitives.push_back({pat.rule, ln, pat.msg, pat.wrapper});
-    }
-  }
-
-  void scan_calls(Function& fn, const std::string& line, std::size_t ln) {
-    static const std::regex call_re(
-        R"(((?:[A-Za-z_]\w*\s*::\s*)*[A-Za-z_]\w*)\s*\()");
-    std::string name;  // hoisted per-match scratch
-    std::string last;
-    for (auto it = std::sregex_iterator(line.begin(), line.end(), call_re);
-         it != std::sregex_iterator(); ++it) {
-      name = (*it)[1].str();
-      name.erase(std::remove_if(name.begin(), name.end(),
-                                [](unsigned char c) {
-                                  return std::isspace(c) != 0;
-                                }),
-                 name.end());
-      const std::size_t last_sep = name.rfind("::");
-      last = last_sep == std::string::npos ? name : name.substr(last_sep + 2);
-      if (last.empty() || is_call_keyword(last)) continue;
-      if (name.rfind("MMHAR_", 0) == 0) continue;  // annotation/check macro
-
-      const auto pos = static_cast<std::size_t>(it->position(1));
-      // Preceding context decides member call vs declaration vs call.
-      std::size_t p = pos;
-      while (p > 0 &&
-             std::isspace(static_cast<unsigned char>(line[p - 1])))
-        --p;
-      const char prev = p > 0 ? line[p - 1] : '\0';
-      const char prev2 = p > 1 ? line[p - 2] : '\0';
-      const bool member = prev == '.' || (prev == '>' && prev2 == '-');
-      if (!member) {
-        if (prev == '>' || prev == '*' || prev == '&') continue;  // decl
-        if (std::isalnum(static_cast<unsigned char>(prev)) || prev == '_') {
-          // Preceding token is an identifier: `Type name(args)` is a
-          // declaration unless the token is a statement keyword.
-          std::size_t q = p;
-          while (q > 0 &&
-                 (std::isalnum(static_cast<unsigned char>(line[q - 1])) ||
-                  line[q - 1] == '_'))
-            --q;
-          if (!is_call_keyword(line.substr(q, p - q))) continue;
-        }
-      } else {
-        if (member_skip_list().count(last) > 0) {
-          // Growth members caught below; vocabulary members are opaque.
-          if (growth_members().count(last) == 0) continue;
-        }
-        if (growth_members().count(last) > 0) {
-          // Resolution decides in pass 2: repo function -> call edge,
-          // otherwise an allocating container-growth primitive.
-          fn.calls.push_back({last, ln, true});
-          fn.primitives.push_back(
-              {"alloc", ln,
-               "'." + last + "(...)' may grow a container (allocates)",
-               false});
-          continue;
-        }
-      }
-      fn.calls.push_back({member ? last : name, ln, member});
-    }
-  }
-
-  FileIndex& out_;
-  int file_id_;
-  std::vector<Function>& functions_;
-  std::map<std::string, DeclFlags>& decl_flags_;
-  std::vector<std::size_t> local_functions_;
-};
-
-// ---- Pass 2: graph propagation ---------------------------------------------
-
-struct RootSpec {
-  std::string kind;  // "realtime" | "handoff"
-  std::string name;  // qualified suffix
-  std::size_t line;  // in the roots file
-};
+  return prims;
+}
 
 class Checker {
  public:
-  Checker(std::vector<FileIndex> files, std::vector<Function> functions,
-          std::map<std::string, DeclFlags> decl_flags)
-      : files_(std::move(files)),
-        functions_(std::move(functions)),
-        decl_flags_(std::move(decl_flags)) {
-    // Union decl-carried flags into definitions, by qualified name.
-    for (auto& fn : functions_) {
-      const auto it = decl_flags_.find(fn.qual);
-      if (it == decl_flags_.end()) continue;
-      fn.realtime = fn.realtime || it->second.realtime;
-      fn.handoff = fn.handoff || it->second.handoff;
-      fn.noreturn = fn.noreturn || it->second.noreturn;
-    }
-    std::string last;  // hoisted per-function scratch
-    for (std::size_t i = 0; i < functions_.size(); ++i) {
-      last = last_component(functions_[i].qual);
-      by_last_[last].push_back(i);
-    }
-  }
+  explicit Checker(CallGraph graph) : graph_(std::move(graph)) {}
 
   bool load_registry(const fs::path& path) {
-    static const std::regex row_re(R"re(\{\s*"(MMHAR_\w+)"\s*,)re");
-    std::vector<std::string> raw;
-    if (!read_lines(path, raw)) return false;
-    bool in_block = false;
-    std::string code;  // hoisted per-line scratch
-    for (const auto& line : raw) {
-      code = code_keeping_strings(line, in_block);
-      std::smatch m;
-      if (std::regex_search(code, m, row_re)) registry_.insert(m[1].str());
-    }
+    if (!load_env_registry(path, registry_)) return false;
     have_registry_ = true;
     return true;
   }
 
   bool load_roots(const fs::path& path) {
     roots_path_ = path.generic_string();
-    std::vector<std::string> raw;
-    if (!read_lines(path, raw)) return false;
-    static const std::regex row_re(R"(^\s*(realtime|handoff)\s+(\S+)\s*$)");
-    std::string t;  // hoisted per-line scratch
-    for (std::size_t i = 0; i < raw.size(); ++i) {
-      t = trim(raw[i]);
-      if (t.empty() || t[0] == '#') continue;
-      std::smatch m;
-      if (!std::regex_match(t, m, row_re)) {
-        roots_parse_error_ = "line " + std::to_string(i + 1) +
-                             ": expected '<realtime|handoff> "
-                             "<qualified-name-suffix>', got: " + t;
-        return true;  // readable file, bad row — reported as usage error
-      }
-      root_specs_.push_back({m[1].str(), m[2].str(), i + 1});
-    }
-    return true;
+    return load_root_specs(path, {"realtime", "handoff"}, root_specs_,
+                           roots_parse_error_);
   }
 
   const std::string& roots_parse_error() const { return roots_parse_error_; }
@@ -733,102 +249,30 @@ class Checker {
   std::vector<Violation> run(const std::set<std::string>& rules) {
     if (rules.count("root-coverage")) rule_root_coverage();
     propagate(rules);
-    std::sort(found_.begin(), found_.end(),
-              [](const Violation& a, const Violation& b) {
-                return std::tie(a.file, a.line, a.rule, a.message) <
-                       std::tie(b.file, b.line, b.rule, b.message);
-              });
-    found_.erase(std::unique(found_.begin(), found_.end(),
-                             [](const Violation& a, const Violation& b) {
-                               return a.file == b.file && a.line == b.line &&
-                                      a.rule == b.rule &&
-                                      a.message == b.message;
-                             }),
-                 found_.end());
+    sort_unique_violations(found_);
     return std::move(found_);
   }
 
-  std::size_t function_count() const { return functions_.size(); }
+  std::size_t function_count() const { return graph_.functions().size(); }
   std::size_t root_count() const { return root_count_; }
   std::size_t reachable_count() const { return reachable_count_; }
 
  private:
-  static std::string last_component(const std::string& qual) {
-    const std::size_t sep = qual.rfind("::");
-    return sep == std::string::npos ? qual : qual.substr(sep + 2);
-  }
-
-  // `qual` ends with `suffix` on a :: component boundary. Anonymous-
-  // namespace components are transparent so a roots-file entry like
-  // `dsp::plan_for` can name the file-local mmhar::dsp::(anonymous)::
-  // plan_for without hard-coding the linkage detail.
-  static bool suffix_matches(const std::string& qual,
-                             const std::string& suffix) {
-    const auto ends_on_boundary = [](const std::string& q,
-                                     const std::string& s) {
-      if (q == s) return true;
-      if (q.size() <= s.size()) return false;
-      if (q.compare(q.size() - s.size(), s.size(), s) != 0) return false;
-      return q.compare(q.size() - s.size() - 2, 2, "::") == 0;
-    };
-    if (ends_on_boundary(qual, suffix)) return true;
-    std::string stripped = qual;
-    for (std::size_t at = stripped.find("(anonymous)::");
-         at != std::string::npos; at = stripped.find("(anonymous)::"))
-      stripped.erase(at, 13);
-    return ends_on_boundary(stripped, suffix);
-  }
-
-  // Call-name resolution. Free calls must match their written qualifier
-  // as a component-aligned suffix (so std:: / chrono:: calls resolve to
-  // nothing instead of colliding with same-named repo functions) and
-  // prefer same-file candidates when any exist — modelling anonymous-
-  // namespace lookup, and keeping fft.cpp's file-local plan_for() from
-  // resolving into AttackExperiment::plan_for. Member calls have no
-  // receiver type textually, so they resolve only within the caller's own
-  // file (the hot-path pattern: a record and its consumers share a TU);
-  // a cross-file growth member stays an alloc primitive instead.
-  void resolve(const CallSite& call, int caller_file,
-               std::vector<std::size_t>& out) const {
-    out.clear();
-    const auto it = by_last_.find(last_component(call.name));
-    if (it == by_last_.end()) return;
-    bool any_same_file = false;
-    for (const std::size_t id : it->second) {
-      const Function& f = functions_[id];
-      if (call.member) {
-        if (f.file_id == caller_file) out.push_back(id);
-        continue;
-      }
-      if (call.name != last_component(call.name) &&
-          !suffix_matches(f.qual, call.name))
-        continue;
-      out.push_back(id);
-      any_same_file = any_same_file || f.file_id == caller_file;
-    }
-    if (!call.member && any_same_file) {
-      out.erase(std::remove_if(out.begin(), out.end(),
-                               [&](std::size_t id) {
-                                 return functions_[id].file_id != caller_file;
-                               }),
-                out.end());
-    }
-  }
-
-  bool line_allows(const Function& fn, std::size_t ln,
+  bool line_allows(const FnRecord& fn, std::size_t ln,
                    const std::string& rule) const {
-    const auto& raw = files_[static_cast<std::size_t>(fn.file_id)].raw;
+    const auto& raw = graph_.file_of(fn).raw;
     return ln >= 1 && ln <= raw.size() &&
            suppression_allows(raw, ln - 1, kMarker, rule);
   }
 
   void rule_root_coverage() {
-    root_specs_checked_ = true;
+    const auto& functions = graph_.functions();
     std::vector<std::size_t> matches;  // hoisted per-spec scratch
     for (const auto& spec : root_specs_) {
       matches.clear();
-      for (std::size_t i = 0; i < functions_.size(); ++i)
-        if (suffix_matches(functions_[i].qual, spec.name)) matches.push_back(i);
+      for (std::size_t i = 0; i < functions.size(); ++i)
+        if (CallGraph::suffix_matches(functions[i].qual, spec.name))
+          matches.push_back(i);
       if (matches.empty()) {
         found_.push_back({"root-coverage", roots_path_, spec.line,
                           "required root '" + spec.name +
@@ -840,13 +284,14 @@ class Checker {
       }
       bool ok = false;
       for (const std::size_t id : matches) {
-        const Function& fn = functions_[id];
-        if (spec.kind == "realtime" ? fn.realtime
-                                    : (fn.handoff || fn.realtime))
+        const FnRecord& fn = functions[id];
+        if (spec.kind == "realtime"
+                ? fn.has_flag(kRealtime)
+                : (fn.has_flag(kHandoff) || fn.has_flag(kRealtime)))
           ok = true;
       }
       if (!ok) {
-        const Function& fn = functions_[matches.front()];
+        const FnRecord& fn = functions[matches.front()];
         found_.push_back(
             {"root-coverage", fn.file, fn.line,
              "required root '" + spec.name + "' has lost its MMHAR_REALTIME" +
@@ -862,62 +307,34 @@ class Checker {
     // Roots: every annotated function. The --roots file is a floor that
     // root-coverage enforces, not a ceiling — annotating a new function
     // extends the checked set with no tool change.
+    const auto& functions = graph_.functions();
     std::vector<std::size_t> roots;
-    for (std::size_t i = 0; i < functions_.size(); ++i)
-      if ((functions_[i].realtime || functions_[i].handoff) &&
-          !functions_[i].noreturn)
+    for (std::size_t i = 0; i < functions.size(); ++i)
+      if (functions[i].flags != 0 && !functions[i].noreturn)
         roots.push_back(i);
     std::sort(roots.begin(), roots.end(),
-              [this](std::size_t a, std::size_t b) {
-                return std::tie(functions_[a].file, functions_[a].line) <
-                       std::tie(functions_[b].file, functions_[b].line);
+              [&](std::size_t a, std::size_t b) {
+                return std::tie(functions[a].file, functions[a].line) <
+                       std::tie(functions[b].file, functions[b].line);
               });
     root_count_ = roots.size();
 
-    struct Via {
-      std::size_t parent;
-      bool is_root;
-    };
-    std::map<std::size_t, Via> via;
-    std::deque<std::size_t> queue;
-    for (const std::size_t r : roots) {
-      if (via.count(r)) continue;
-      via[r] = {r, true};
-      queue.push_back(r);
-    }
-    std::vector<std::size_t> targets;  // hoisted per-call scratch
-    while (!queue.empty()) {
-      const std::size_t id = queue.front();
-      queue.pop_front();
-      const Function& fn = functions_[id];
-      for (const auto& call : fn.calls) {
-        if (line_allows(fn, call.line, "calls")) continue;
-        resolve(call, fn.file_id, targets);
-        for (const std::size_t t : targets) {
-          if (t == id || via.count(t) || functions_[t].noreturn) continue;
-          via[t] = {id, false};
-          queue.push_back(t);
-        }
-      }
-    }
-    reachable_count_ = via.size();
+    const Reachability reach(
+        graph_, roots, [this, &functions](const FnRecord& fn, std::size_t ln) {
+          (void)functions;
+          return line_allows(fn, ln, "calls");
+        });
+    reachable_count_ = reach.size();
 
     std::string chain;  // hoisted per-violation scratch
     std::vector<std::size_t> growth_targets;
-    for (const auto& [id, v] : via) {
-      const Function& fn = functions_[id];
-      chain.clear();
-      for (std::size_t cur = id;;) {
-        const Function& f = functions_[cur];
-        chain.insert(0, f.qual + (chain.empty() ? "" : " -> "));
-        const Via& step = via.at(cur);
-        if (step.is_root && cur == id) break;
-        if (step.is_root || step.parent == cur) break;
-        cur = step.parent;
-      }
-      for (const auto& prim : fn.primitives) {
+    for (const auto& [id, v] : reach.via()) {
+      (void)v;
+      const FnRecord& fn = functions[id];
+      chain = reach.chain(graph_, id);
+      for (const auto& prim : function_primitives(graph_, fn)) {
         if (!rules.count(prim.rule)) continue;
-        if (prim.wrapper_lock && fn.handoff) continue;
+        if (prim.wrapper_lock && fn.has_flag(kHandoff)) continue;
         if (line_allows(fn, prim.line, prim.rule)) continue;
         if (prim.rule == "alloc" &&
             prim.message.find("may grow a container") != std::string::npos) {
@@ -929,7 +346,7 @@ class Checker {
             if (prim.message.find("'." + call.name + "(") ==
                 std::string::npos)
               continue;
-            resolve(call, fn.file_id, growth_targets);
+            graph_.resolve(call, fn.file_id, growth_targets);
             if (!growth_targets.empty()) resolved = true;
           }
           if (resolved) continue;
@@ -939,9 +356,7 @@ class Checker {
       }
       if (rules.count("env-read") && have_registry_ &&
           fn.file.find("common/env.cpp") == std::string::npos) {
-        const auto& sites =
-            files_[static_cast<std::size_t>(fn.file_id)].env_sites;
-        for (const auto& site : sites) {
+        for (const auto& site : graph_.file_of(fn).env_sites) {
           if (site.line < fn.body_begin || site.line > fn.body_end) continue;
           if (line_allows(fn, site.line, "env-read")) continue;
           if (site.name.empty()) {
@@ -964,16 +379,12 @@ class Checker {
     }
   }
 
-  std::vector<FileIndex> files_;
-  std::vector<Function> functions_;
-  std::map<std::string, DeclFlags> decl_flags_;
-  std::map<std::string, std::vector<std::size_t>> by_last_;
+  CallGraph graph_;
   std::set<std::string> registry_;
   bool have_registry_ = false;
   std::vector<RootSpec> root_specs_;
   std::string roots_path_;
   std::string roots_parse_error_;
-  bool root_specs_checked_ = false;
   std::size_t root_count_ = 0;
   std::size_t reachable_count_ = 0;
   std::vector<Violation> found_;
@@ -1014,8 +425,10 @@ int main(int argc, char** argv) {
   if (rules.empty())
     rules = {"alloc", "lock", "block", "throw", "env-read", "root-coverage"};
 
-  std::vector<FileIndex> files;
-  std::vector<Function> functions;
+  const AnnotationTokens tokens(
+      {"MMHAR_REALTIME", "MMHAR_REALTIME_HANDOFF"});
+  std::vector<SourceFile> files;
+  std::vector<FnRecord> functions;
   std::map<std::string, DeclFlags> decl_flags;
   std::size_t file_count = 0;
   for (const auto& root : roots_dirs) {
@@ -1024,7 +437,7 @@ int main(int argc, char** argv) {
       return 2;
     }
     for (const auto& path : collect_sources(root)) {
-      FileIndex index;
+      SourceFile index;
       index.path = display_path(root, path);
       if (!read_lines(path, index.raw)) {
         std::cerr << "mmhar_rtcheck: cannot read " << path << "\n";
@@ -1035,10 +448,11 @@ int main(int argc, char** argv) {
     }
   }
   for (std::size_t i = 0; i < files.size(); ++i)
-    RtScanner(files[i], static_cast<int>(i), functions, decl_flags).scan();
+    ScopeScanner(files[i], static_cast<int>(i), tokens, functions, decl_flags)
+        .scan();
 
-  Checker checker(std::move(files), std::move(functions),
-                  std::move(decl_flags));
+  Checker checker(CallGraph(std::move(files), std::move(functions),
+                            std::move(decl_flags)));
   if (!registry_path.empty() && !checker.load_registry(registry_path)) {
     std::cerr << "mmhar_rtcheck: cannot read registry " << registry_path
               << "\n";
